@@ -1,0 +1,51 @@
+//! Ablation bench: the two §6.2 optimizations (incremental cost update,
+//! monotonicity) toggled independently, plus differential candidates
+//! enabled (the completed version of the paper's "restriction" in §7).
+//! Wall-time deltas here quantify what each optimization buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvmqo_bench::{run_point, ExperimentConfig, Workload};
+use mvmqo_core::opt::GreedyOptions;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(15);
+    let configs: [(&str, GreedyOptions); 4] = [
+        ("paper_config", GreedyOptions::default()),
+        (
+            "no_monotonicity",
+            GreedyOptions {
+                monotonicity: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no_incremental_cost_update",
+            GreedyOptions {
+                incremental_cost_update: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "diff_candidates",
+            GreedyOptions {
+                diff_candidates: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, options) in configs {
+        let cfg = ExperimentConfig {
+            options,
+            ..Default::default()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_point(Workload::Ten, 5.0, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 3 bench: optimization of the stand-alone 4-relation view (with
+//! and without aggregation). Criterion measures optimizer wall time; the
+//! figure's data series (estimated plan costs) is printed by
+//! `cargo run --bin figures fig3a` / `fig3b`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvmqo_bench::{run_point, ExperimentConfig, Workload};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(20);
+    g.bench_function("fig3a_single_join_opt_10pct", |b| {
+        b.iter(|| black_box(run_point(Workload::SingleJoin, 10.0, &cfg)))
+    });
+    g.bench_function("fig3b_single_agg_opt_10pct", |b| {
+        b.iter(|| black_box(run_point(Workload::SingleAgg, 10.0, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 4 bench: optimization of the five-view workloads (join-only and
+//! aggregate), plus the small-buffer configuration of §7.2 "Effect of
+//! Buffer Size". Series data: `cargo run --bin figures fig4a|fig4b|buffer`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvmqo_bench::{run_point, ExperimentConfig, Workload};
+use mvmqo_core::cost::CostModel;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    let small = ExperimentConfig {
+        cost_model: CostModel::small_buffer(),
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(20);
+    g.bench_function("fig4a_five_join_opt_10pct", |b| {
+        b.iter(|| black_box(run_point(Workload::FiveJoin, 10.0, &cfg)))
+    });
+    g.bench_function("fig4b_five_agg_opt_10pct", |b| {
+        b.iter(|| black_box(run_point(Workload::FiveAgg, 10.0, &cfg)))
+    });
+    g.bench_function("fig4a_small_buffer_opt_10pct", |b| {
+        b.iter(|| black_box(run_point(Workload::FiveJoin, 10.0, &small)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

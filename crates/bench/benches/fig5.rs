@@ -1,0 +1,27 @@
+//! Figure 5 bench: optimization of the ten-view workload with (a) and
+//! without (b) predefined PK indices. Series data:
+//! `cargo run --bin figures fig5a|fig5b`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvmqo_bench::{run_point, ExperimentConfig, Workload};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let with_idx = ExperimentConfig::default();
+    let no_idx = ExperimentConfig {
+        pk_indices: false,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(20);
+    g.bench_function("fig5a_ten_views_opt_10pct", |b| {
+        b.iter(|| black_box(run_point(Workload::Ten, 10.0, &with_idx)))
+    });
+    g.bench_function("fig5b_ten_views_noidx_opt_10pct", |b| {
+        b.iter(|| black_box(run_point(Workload::Ten, 10.0, &no_idx)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! §7.2 "Cost of Optimization": wall time of Greedy optimization for the
+//! ten-view set (the paper reports 31 s on an UltraSparc 10 and argues the
+//! one-time cost is small against per-refresh savings). This bench measures
+//! the same quantity on modern hardware, end to end (DAG build +
+//! differential properties + greedy + plan extraction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvmqo_bench::{referenced_tables, ExperimentConfig, Workload};
+use mvmqo_core::api::{optimize, MaintenanceProblem};
+use mvmqo_core::update::UpdateModel;
+use mvmqo_tpcd::schema::tpcd_catalog;
+use std::hint::black_box;
+
+fn bench_opt_time(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    let mut g = c.benchmark_group("opt_time");
+    g.sample_size(20);
+    for pct in [1.0, 10.0, 80.0] {
+        g.bench_function(format!("greedy_ten_views_{pct}pct"), |b| {
+            b.iter(|| {
+                let mut t = tpcd_catalog(cfg.sf);
+                let views = Workload::Ten.build(&mut t);
+                let tables = referenced_tables(&views);
+                let updates =
+                    UpdateModel::percentage(tables, pct, |id| t.catalog.table(id).stats.rows);
+                let problem =
+                    MaintenanceProblem::new(views, updates).with_pk_indices(&t.catalog);
+                black_box(optimize(&mut t.catalog, &problem))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_opt_time);
+criterion_main!(benches);

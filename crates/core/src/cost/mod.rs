@@ -1,0 +1,6 @@
+//! Cost model (§7.1): seeks, block transfers, and CPU, with buffer
+//! sensitivity.
+
+pub mod model;
+
+pub use model::CostModel;

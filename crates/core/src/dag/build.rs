@@ -1,0 +1,726 @@
+//! DAG construction and expansion.
+//!
+//! Queries are inserted one at a time (§4.2). For the select-project-join
+//! fragment the builder computes the canonical semantic key *(table set,
+//! applied conjuncts)* and materializes **every** associativity /
+//! commutativity / selection-pushdown variant by enumerating all binary
+//! splits of the table set — this is the *expanded DAG* of Figure 1(c),
+//! produced constructively rather than by destructive rewriting. Because
+//! every creation path first consults the key memo, logically equivalent
+//! subexpressions are **unified eagerly**: the situation of §4.2 where two
+//! syntactically different but equivalent nodes would coexist until a
+//! transformation exposes them cannot arise — they hit the same memo slot
+//! at insertion. Hashing-based duplicate detection of repeated operations
+//! (Volcano's scheme) is the op memo.
+
+use crate::dag::node::{DerivedSig, EqId, EqNode, OpId, OpKind, OpNode, SemKey};
+use mvmqo_relalg::agg::AggSpec;
+use mvmqo_relalg::catalog::{Catalog, TableId};
+use mvmqo_relalg::expr::Predicate;
+use mvmqo_relalg::logical::LogicalExpr;
+use mvmqo_relalg::schema::{AttrId, Attribute, Schema};
+use mvmqo_relalg::stats;
+use mvmqo_relalg::stats::RelStats;
+use std::collections::HashMap;
+
+/// A named root of the DAG (one per view).
+#[derive(Debug, Clone)]
+pub struct DagRoot {
+    pub name: String,
+    pub eq: EqId,
+}
+
+/// The AND-OR DAG over all views being maintained.
+#[derive(Debug, Default)]
+pub struct Dag {
+    eqs: Vec<EqNode>,
+    ops: Vec<OpNode>,
+    eq_memo: HashMap<SemKey, EqId>,
+    op_memo: HashMap<(OpKind, Vec<EqId>), OpId>,
+    roots: Vec<DagRoot>,
+    /// Base tables mentioned anywhere in the DAG, sorted.
+    base_tables: Vec<TableId>,
+}
+
+impl Dag {
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn eq(&self, id: EqId) -> &EqNode {
+        &self.eqs[id.0 as usize]
+    }
+
+    pub fn op(&self, id: OpId) -> &OpNode {
+        &self.ops[id.0 as usize]
+    }
+
+    pub fn eq_count(&self) -> usize {
+        self.eqs.len()
+    }
+
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn eq_ids(&self) -> impl Iterator<Item = EqId> {
+        (0..self.eqs.len() as u32).map(EqId)
+    }
+
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    pub fn roots(&self) -> &[DagRoot] {
+        &self.roots
+    }
+
+    /// All base tables mentioned in the DAG, sorted — these define the
+    /// update numbering (n relations → 2n updates, §5.2).
+    pub fn base_tables(&self) -> &[TableId] {
+        &self.base_tables
+    }
+
+    /// The equivalence node of a base relation, if present.
+    pub fn base_eq(&self, table: TableId) -> Option<EqId> {
+        self.eq_memo
+            .get(&SemKey::Spj {
+                tables: vec![table],
+                preds: Predicate::true_(),
+            })
+            .copied()
+    }
+
+    /// Look up an equivalence node by semantic key.
+    pub fn lookup(&self, key: &SemKey) -> Option<EqId> {
+        self.eq_memo.get(key).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Insert a view; returns its root equivalence node. The same
+    /// expression inserted twice lands on the same node (unification).
+    pub fn insert_view(
+        &mut self,
+        catalog: &Catalog,
+        name: impl Into<String>,
+        expr: &LogicalExpr,
+    ) -> EqId {
+        let eq = self.insert_expr(catalog, expr);
+        self.roots.push(DagRoot {
+            name: name.into(),
+            eq,
+        });
+        eq
+    }
+
+    /// Insert an expression without registering a root.
+    pub fn insert_expr(&mut self, catalog: &Catalog, expr: &LogicalExpr) -> EqId {
+        match self.try_spj(expr) {
+            Some((tables, preds)) => self.ensure_spj(catalog, tables, preds),
+            None => self.insert_derived(catalog, expr),
+        }
+    }
+
+    /// Try to read `expr` as a pure SPJ fragment, returning its canonical
+    /// (table set, conjunct set).
+    fn try_spj(&self, expr: &LogicalExpr) -> Option<(Vec<TableId>, Predicate)> {
+        match expr {
+            LogicalExpr::Scan { table } => Some((vec![*table], Predicate::true_())),
+            LogicalExpr::Select { input, predicate } => {
+                let (tables, preds) = self.try_spj(input)?;
+                Some((tables, preds.and(predicate)))
+            }
+            LogicalExpr::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                let (lt, lp) = self.try_spj(left)?;
+                let (rt, rp) = self.try_spj(right)?;
+                let mut tables = lt;
+                for t in &rt {
+                    assert!(
+                        !tables.contains(t),
+                        "self-joins are not supported: table {t} occurs on both join sides"
+                    );
+                }
+                tables.extend(rt);
+                tables.sort_unstable();
+                Some((tables, lp.and(&rp).and(predicate)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Get-or-create the equivalence node of an SPJ fragment, expanding all
+    /// its alternative operations (all binary splits). This is where join
+    /// associativity, commutativity (implicitly), and selection pushdown
+    /// closure happen.
+    pub fn ensure_spj(
+        &mut self,
+        catalog: &Catalog,
+        tables: Vec<TableId>,
+        preds: Predicate,
+    ) -> EqId {
+        debug_assert!(tables.windows(2).all(|w| w[0] < w[1]), "tables sorted");
+        let key = SemKey::Spj {
+            tables: tables.clone(),
+            preds: preds.clone(),
+        };
+        if let Some(id) = self.eq_memo.get(&key) {
+            return *id;
+        }
+        let schema = spj_schema(catalog, &tables);
+        let stats_old = spj_stats(catalog, &tables, &preds, &|t| catalog.table(t).stats.clone());
+        let id = self.new_eq(key, schema, tables.clone(), stats_old);
+
+        if tables.len() == 1 {
+            let t = tables[0];
+            if preds.is_true() {
+                self.add_op(OpKind::Scan(t), vec![], id);
+            } else {
+                let base = self.ensure_spj(catalog, vec![t], Predicate::true_());
+                self.add_op(OpKind::Select { pred: preds }, vec![base], id);
+            }
+        } else {
+            // Enumerate all binary splits; the lowest table id is pinned to
+            // the left side so each unordered partition is generated once
+            // (commutative variants are handled at physical costing).
+            let rest = &tables[1..];
+            let n = rest.len();
+            let all_attrs: Vec<AttrId> = self.eq(id).schema.ids();
+            for mask in 0..(1u32 << n) {
+                let mut left = vec![tables[0]];
+                let mut right = Vec::new();
+                for (i, t) in rest.iter().enumerate() {
+                    if mask & (1 << i) == 0 {
+                        left.push(*t);
+                    } else {
+                        right.push(*t);
+                    }
+                }
+                if right.is_empty() {
+                    continue;
+                }
+                let left_attrs = side_attrs(catalog, &left);
+                let right_attrs = side_attrs(catalog, &right);
+                let (left_preds, rest_preds) = preds.split_covered(&left_attrs);
+                let (right_preds, join_pred) = rest_preds.split_covered(&right_attrs);
+                debug_assert!(
+                    join_pred
+                        .referenced_attrs()
+                        .iter()
+                        .all(|a| all_attrs.contains(a)),
+                    "join conjuncts must be covered by the union of sides"
+                );
+                let l = self.ensure_spj(catalog, left, left_preds);
+                let r = self.ensure_spj(catalog, right, right_preds);
+                self.add_op(OpKind::Join { pred: join_pred }, vec![l, r], id);
+            }
+        }
+        id
+    }
+
+    /// Insert a non-SPJ operator node.
+    fn insert_derived(&mut self, catalog: &Catalog, expr: &LogicalExpr) -> EqId {
+        match expr {
+            LogicalExpr::Scan { .. } | LogicalExpr::Join { .. } => unreachable!("handled as SPJ"),
+            LogicalExpr::Select { input, predicate } => {
+                // Non-SPJ child (e.g. selection over an aggregate).
+                let child = self.insert_expr(catalog, input);
+                let sig = DerivedSig::Select(predicate.clone());
+                self.ensure_derived(
+                    sig,
+                    vec![child],
+                    OpKind::Select {
+                        pred: predicate.clone(),
+                    },
+                    self.eq(child).schema.clone(),
+                    stats::derive_select(&self.eq(child).stats_old, predicate),
+                )
+            }
+            LogicalExpr::Project { input, attrs } => {
+                let child = self.insert_expr(catalog, input);
+                let schema = self.eq(child).schema.select_ids(attrs);
+                let st = stats::derive_project(&self.eq(child).stats_old, attrs);
+                self.ensure_derived(
+                    DerivedSig::Project(attrs.clone()),
+                    vec![child],
+                    OpKind::Project {
+                        attrs: attrs.clone(),
+                    },
+                    schema,
+                    st,
+                )
+            }
+            LogicalExpr::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let child = self.insert_expr(catalog, input);
+                let (schema, st) = self.aggregate_props(catalog, child, group_by, aggs);
+                self.ensure_derived(
+                    DerivedSig::Aggregate {
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    },
+                    vec![child],
+                    OpKind::Aggregate {
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    },
+                    schema,
+                    st,
+                )
+            }
+            LogicalExpr::UnionAll { left, right } => {
+                let l = self.insert_expr(catalog, left);
+                let r = self.insert_expr(catalog, right);
+                let schema = self.eq(l).schema.clone();
+                let st = stats::derive_union(&self.eq(l).stats_old, &self.eq(r).stats_old);
+                self.ensure_derived(DerivedSig::UnionAll, vec![l, r], OpKind::UnionAll, schema, st)
+            }
+            LogicalExpr::Minus { left, right } => {
+                let l = self.insert_expr(catalog, left);
+                let r = self.insert_expr(catalog, right);
+                let schema = self.eq(l).schema.clone();
+                let st = stats::derive_minus(&self.eq(l).stats_old, &self.eq(r).stats_old);
+                self.ensure_derived(DerivedSig::Minus, vec![l, r], OpKind::Minus, schema, st)
+            }
+            LogicalExpr::Distinct { input } => {
+                let child = self.insert_expr(catalog, input);
+                let schema = self.eq(child).schema.clone();
+                let st = stats::derive_distinct(&self.eq(child).stats_old);
+                self.ensure_derived(DerivedSig::Distinct, vec![child], OpKind::Distinct, schema, st)
+            }
+        }
+    }
+
+    /// Schema and stats of an aggregate node.
+    pub(crate) fn aggregate_props(
+        &self,
+        _catalog: &Catalog,
+        child: EqId,
+        group_by: &[AttrId],
+        aggs: &[AggSpec],
+    ) -> (Schema, RelStats) {
+        let in_schema = &self.eq(child).schema;
+        let mut attrs: Vec<Attribute> = group_by
+            .iter()
+            .map(|g| {
+                in_schema
+                    .attr(*g)
+                    .unwrap_or_else(|| panic!("group attr {g} missing from input"))
+                    .clone()
+            })
+            .collect();
+        for a in aggs {
+            let in_ty = a
+                .input
+                .result_type(in_schema)
+                .unwrap_or(mvmqo_relalg::types::DataType::Int);
+            attrs.push(Attribute {
+                id: a.out,
+                name: format!("{}_{}", a.func, a.out),
+                data_type: a.func.result_type(in_ty),
+            });
+        }
+        let outs: Vec<AttrId> = aggs.iter().map(|a| a.out).collect();
+        let st = stats::derive_aggregate(&self.eq(child).stats_old, group_by, &outs);
+        (Schema::new(attrs), st)
+    }
+
+    /// Get-or-create a derived equivalence node and its defining op.
+    pub(crate) fn ensure_derived(
+        &mut self,
+        sig: DerivedSig,
+        children: Vec<EqId>,
+        kind: OpKind,
+        schema: Schema,
+        stats_old: RelStats,
+    ) -> EqId {
+        let key = SemKey::Derived {
+            sig,
+            children: children.clone(),
+        };
+        if let Some(id) = self.eq_memo.get(&key) {
+            return *id;
+        }
+        let mut base: Vec<TableId> = Vec::new();
+        for c in &children {
+            base.extend(self.eq(*c).base_tables.iter().copied());
+        }
+        base.sort_unstable();
+        base.dedup();
+        let id = self.new_eq(key, schema, base, stats_old);
+        self.add_op(kind, children, id);
+        id
+    }
+
+    fn new_eq(
+        &mut self,
+        key: SemKey,
+        schema: Schema,
+        base_tables: Vec<TableId>,
+        stats_old: RelStats,
+    ) -> EqId {
+        let id = EqId(self.eqs.len() as u32);
+        for t in &base_tables {
+            if let Err(pos) = self.base_tables.binary_search(t) {
+                self.base_tables.insert(pos, *t);
+            }
+        }
+        self.eq_memo.insert(key.clone(), id);
+        self.eqs.push(EqNode {
+            id,
+            key,
+            children: Vec::new(),
+            parents: Vec::new(),
+            schema,
+            base_tables,
+            stats_old,
+        });
+        id
+    }
+
+    /// Add an operation under `parent` unless the identical operation
+    /// already exists (hashing-based duplicate detection).
+    pub(crate) fn add_op(&mut self, kind: OpKind, children: Vec<EqId>, parent: EqId) -> OpId {
+        let memo_key = (kind.clone(), children.clone());
+        if let Some(existing) = self.op_memo.get(&memo_key) {
+            debug_assert_eq!(
+                self.op(*existing).parent,
+                parent,
+                "identical op under two different equivalence nodes — unification bug"
+            );
+            return *existing;
+        }
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpNode {
+            id,
+            kind,
+            children: children.clone(),
+            parent,
+        });
+        self.op_memo.insert(memo_key, id);
+        self.eqs[parent.0 as usize].children.push(id);
+        for c in children {
+            self.eqs[c.0 as usize].parents.push(id);
+        }
+        id
+    }
+
+    /// Equivalence nodes in a bottom-up (children before parents) order,
+    /// via Kahn's algorithm. Each entry in an eq node's `parents` list
+    /// corresponds to exactly one child slot of the consuming op, so the
+    /// parent eq node becomes ready precisely when every child slot of every
+    /// one of its alternative ops has been emitted.
+    pub fn topo_order(&self) -> Vec<EqId> {
+        let n = self.eqs.len();
+        let mut indegree = vec![0usize; n];
+        for op in &self.ops {
+            indegree[op.parent.0 as usize] += op.children.len();
+        }
+        let mut ready: Vec<EqId> = (0..n as u32)
+            .map(EqId)
+            .filter(|e| indegree[e.0 as usize] == 0)
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(e) = ready.pop() {
+            out.push(e);
+            for &op_id in &self.eq(e).parents {
+                let parent = self.op(op_id).parent;
+                indegree[parent.0 as usize] -= 1;
+                if indegree[parent.0 as usize] == 0 {
+                    ready.push(parent);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), n, "DAG contains a cycle");
+        out
+    }
+}
+
+/// Canonical schema of an SPJ node: concatenation of base-table schemas in
+/// table-id order.
+pub fn spj_schema(catalog: &Catalog, tables: &[TableId]) -> Schema {
+    let mut attrs = Vec::new();
+    for t in tables {
+        attrs.extend(catalog.table(*t).schema.attrs().iter().cloned());
+    }
+    Schema::new(attrs)
+}
+
+/// All attribute ids provided by a set of base tables.
+fn side_attrs(catalog: &Catalog, tables: &[TableId]) -> Vec<AttrId> {
+    let mut out = Vec::new();
+    for t in tables {
+        out.extend(catalog.table(*t).schema.ids());
+    }
+    out
+}
+
+/// Statistics of an SPJ result given a base-stats source — used both for
+/// the pre-update state and for every intermediate state of the update
+/// sequence (§5.2's "logical properties of the full result after updates
+/// 1..i−1 have been propagated").
+pub fn spj_stats(
+    catalog: &Catalog,
+    tables: &[TableId],
+    preds: &Predicate,
+    base: &dyn Fn(TableId) -> RelStats,
+) -> RelStats {
+    assert!(!tables.is_empty());
+    let mut acc = base(tables[0]);
+    let mut seen_attrs = side_attrs(catalog, &tables[..1]);
+    // Apply single-table conjuncts as we fold tables in, join conjuncts as
+    // soon as both sides are present.
+    let (covered, mut remaining) = preds.split_covered(&seen_attrs);
+    acc = stats::derive_select(&acc, &covered);
+    for t in &tables[1..] {
+        let tstats = base(*t);
+        let t_attrs = catalog.table(*t).schema.ids();
+        let (t_local, rest) = remaining.split_covered(&t_attrs);
+        let t_filtered = stats::derive_select(&tstats, &t_local);
+        seen_attrs.extend(t_attrs);
+        let (joinable, rest2) = rest.split_covered(&seen_attrs);
+        acc = stats::derive_join(&acc, &t_filtered, &joinable);
+        remaining = rest2;
+    }
+    debug_assert!(remaining.is_true(), "all conjuncts must be consumed");
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmqo_relalg::catalog::ColumnSpec;
+    use mvmqo_relalg::expr::ScalarExpr;
+    use mvmqo_relalg::types::DataType;
+
+    fn abc_catalog() -> (Catalog, TableId, TableId, TableId) {
+        let mut c = Catalog::new();
+        let a = c.add_table(
+            "a",
+            vec![
+                ColumnSpec::key("id", DataType::Int),
+                ColumnSpec::with_distinct("x", DataType::Int, 50.0),
+            ],
+            1000.0,
+            &["id"],
+        );
+        let b = c.add_table(
+            "b",
+            vec![
+                ColumnSpec::key("id", DataType::Int),
+                ColumnSpec::with_distinct("a_id", DataType::Int, 1000.0),
+            ],
+            5000.0,
+            &["id"],
+        );
+        let d = c.add_table(
+            "c",
+            vec![
+                ColumnSpec::key("id", DataType::Int),
+                ColumnSpec::with_distinct("b_id", DataType::Int, 5000.0),
+            ],
+            20000.0,
+            &["id"],
+        );
+        (c, a, b, d)
+    }
+
+    fn three_way_join(c: &Catalog, a: TableId, b: TableId, d: TableId) -> LogicalExpr {
+        let a_id = c.table(a).attr("id");
+        let b_aid = c.table(b).attr("a_id");
+        let b_id = c.table(b).attr("id");
+        let c_bid = c.table(d).attr("b_id");
+        let ab = LogicalExpr::join(
+            LogicalExpr::scan(a),
+            LogicalExpr::scan(b),
+            Predicate::from_expr(ScalarExpr::col_eq_col(a_id, b_aid)),
+        );
+        LogicalExpr::Join {
+            left: ab,
+            right: LogicalExpr::scan(d),
+            predicate: Predicate::from_expr(ScalarExpr::col_eq_col(b_id, c_bid)),
+        }
+    }
+
+    #[test]
+    fn three_way_join_expands_to_all_subsets() {
+        let (c, a, b, d) = abc_catalog();
+        let mut dag = Dag::new();
+        let expr = three_way_join(&c, a, b, d);
+        dag.insert_view(&c, "v", &expr);
+        // Expanded DAG of Fig 1(c): one eq node per nonempty subset of
+        // {A,B,C} = 7 (single-table nodes have no extra select variants
+        // here because all conjuncts span two tables).
+        assert_eq!(dag.eq_count(), 7);
+        // Ops: 3 scans + per 2-subset 1 join + per 3-subset 3 joins = 3+3+3.
+        assert_eq!(dag.op_count(), 9);
+    }
+
+    #[test]
+    fn equivalent_trees_unify_to_one_node() {
+        let (c, a, b, d) = abc_catalog();
+        let a_id = c.table(a).attr("id");
+        let b_aid = c.table(b).attr("a_id");
+        let b_id = c.table(b).attr("id");
+        let c_bid = c.table(d).attr("b_id");
+        // (A ⋈ B) ⋈ C and A ⋈ (B ⋈ C): same canonical key.
+        let left_assoc = three_way_join(&c, a, b, d);
+        let bc = LogicalExpr::join(
+            LogicalExpr::scan(b),
+            LogicalExpr::scan(d),
+            Predicate::from_expr(ScalarExpr::col_eq_col(b_id, c_bid)),
+        );
+        let right_assoc = LogicalExpr::Join {
+            left: LogicalExpr::scan(a),
+            right: bc,
+            predicate: Predicate::from_expr(ScalarExpr::col_eq_col(a_id, b_aid)),
+        };
+        let mut dag = Dag::new();
+        let e1 = dag.insert_view(&c, "v1", &left_assoc);
+        let e2 = dag.insert_view(&c, "v2", &right_assoc);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn shared_subexpressions_across_views_share_nodes() {
+        let (c, a, b, d) = abc_catalog();
+        let a_id = c.table(a).attr("id");
+        let b_aid = c.table(b).attr("a_id");
+        let ab = LogicalExpr::join(
+            LogicalExpr::scan(a),
+            LogicalExpr::scan(b),
+            Predicate::from_expr(ScalarExpr::col_eq_col(a_id, b_aid)),
+        );
+        let mut dag = Dag::new();
+        let e_ab = dag.insert_view(&c, "v_ab", &ab);
+        let full = three_way_join(&c, a, b, d);
+        dag.insert_view(&c, "v_abc", &full);
+        // The AB node is shared: it must appear as a child of some join op
+        // under the ABC root.
+        let parents = &dag.eq(e_ab).parents;
+        assert!(!parents.is_empty());
+    }
+
+    #[test]
+    fn selections_are_pushed_into_subset_keys() {
+        let (c, a, b, _) = abc_catalog();
+        let a_id = c.table(a).attr("id");
+        let a_x = c.table(a).attr("x");
+        let b_aid = c.table(b).attr("a_id");
+        let pred = Predicate::from_conjuncts(vec![
+            ScalarExpr::col_eq_col(a_id, b_aid),
+            ScalarExpr::col_cmp_lit(a_x, mvmqo_relalg::expr::CmpOp::Eq, 3i64),
+        ]);
+        let expr = LogicalExpr::Join {
+            left: LogicalExpr::scan(a),
+            right: LogicalExpr::scan(b),
+            predicate: pred,
+        };
+        let mut dag = Dag::new();
+        dag.insert_view(&c, "v", &expr);
+        // σ_{x=3}(A) must exist as its own equivalence node.
+        let sigma_key = SemKey::Spj {
+            tables: vec![a],
+            preds: Predicate::from_expr(ScalarExpr::col_cmp_lit(
+                a_x,
+                mvmqo_relalg::expr::CmpOp::Eq,
+                3i64,
+            )),
+        };
+        assert!(dag.lookup(&sigma_key).is_some());
+    }
+
+    #[test]
+    fn base_tables_and_dependence() {
+        let (c, a, b, d) = abc_catalog();
+        let mut dag = Dag::new();
+        let expr = three_way_join(&c, a, b, d);
+        let root = dag.insert_view(&c, "v", &expr);
+        assert_eq!(dag.base_tables(), &[a, b, d]);
+        assert!(dag.eq(root).depends_on(a));
+        let base_a = dag.base_eq(a).unwrap();
+        assert!(dag.eq(base_a).is_base_relation());
+        assert!(!dag.eq(base_a).depends_on(b));
+    }
+
+    #[test]
+    fn aggregate_nodes_are_derived_and_unified() {
+        let (mut c, a, b, d) = abc_catalog();
+        let sum_out = c.fresh_attr();
+        let a_x = c.table(a).attr("x");
+        let expr = three_way_join(&c, a, b, d);
+        let agg = LogicalExpr::Aggregate {
+            input: std::sync::Arc::new(expr.clone()),
+            group_by: vec![a_x],
+            aggs: vec![AggSpec::new(
+                mvmqo_relalg::agg::AggFunc::Count,
+                ScalarExpr::Col(a_x),
+                sum_out,
+            )],
+        };
+        let mut dag = Dag::new();
+        let e1 = dag.insert_view(&c, "v1", &agg);
+        let e2 = dag.insert_view(&c, "v2", &agg);
+        assert_eq!(e1, e2);
+        assert_eq!(dag.eq(e1).schema.len(), 2);
+    }
+
+    #[test]
+    fn topo_order_puts_children_first() {
+        let (c, a, b, d) = abc_catalog();
+        let mut dag = Dag::new();
+        let expr = three_way_join(&c, a, b, d);
+        let root = dag.insert_view(&c, "v", &expr);
+        let order = dag.topo_order();
+        assert_eq!(order.len(), dag.eq_count());
+        let pos = |e: EqId| order.iter().position(|x| *x == e).unwrap();
+        for op in dag.op_ids().map(|o| dag.op(o)) {
+            for child in &op.children {
+                assert!(pos(*child) < pos(op.parent));
+            }
+        }
+        assert_eq!(pos(root), order.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-joins")]
+    fn self_join_is_rejected() {
+        let (c, a, _, _) = abc_catalog();
+        let expr = LogicalExpr::Join {
+            left: LogicalExpr::scan(a),
+            right: LogicalExpr::scan(a),
+            predicate: Predicate::true_(),
+        };
+        let mut dag = Dag::new();
+        dag.insert_view(&c, "v", &expr);
+    }
+
+    #[test]
+    fn spj_stats_apply_local_and_join_conjuncts() {
+        let (c, a, b, _) = abc_catalog();
+        let a_id = c.table(a).attr("id");
+        let a_x = c.table(a).attr("x");
+        let b_aid = c.table(b).attr("a_id");
+        let preds = Predicate::from_conjuncts(vec![
+            ScalarExpr::col_eq_col(a_id, b_aid),
+            ScalarExpr::col_cmp_lit(a_x, mvmqo_relalg::expr::CmpOp::Eq, 1i64),
+        ]);
+        let st = spj_stats(&c, &[a, b], &preds, &|t| c.table(t).stats.clone());
+        // |A|/50 rows of A survive the filter; FK-like join with B gives
+        // 5000/50 = 100.
+        assert!((st.rows - 100.0).abs() < 1.0);
+    }
+}

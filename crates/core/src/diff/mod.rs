@@ -1,0 +1,9 @@
+//! Differential framework (§3, §5.2–5.3): per-node delta statistics, the
+//! state sequence of full results under one-at-a-time update propagation,
+//! and the diffChildren/fullChildren classification.
+
+pub mod props;
+
+pub use props::{
+    base_delta_stats, base_stats_at, scale_base_stats, split_children, DiffChildSplit, DiffProps,
+};

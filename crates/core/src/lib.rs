@@ -1,0 +1,31 @@
+//! # mvmqo-core
+//!
+//! The primary contribution of *Materialized View Selection and Maintenance
+//! Using Multi-Query Optimization* (Mistry, Roy, Ramamritham, Sudarshan —
+//! SIGMOD 2001), reimplemented as a library:
+//!
+//! * [`dag`] — the AND-OR DAG of §4: equivalence/operation nodes, expansion
+//!   to all join orders, eager unification, subsumption derivations;
+//! * [`update`] — the 2n update numbering of §5.2;
+//! * [`cost`] — the seek/transfer/CPU cost model of §7.1, buffer-sensitive;
+//! * [`diff`] — differential logical properties: per-node delta statistics
+//!   and the state sequence "after updates 1..i−1";
+//! * [`opt`] — the optimizer: Volcano-style best plans with a materialized
+//!   set (§5.1), `diffCost` for differentials (§5.3), and the greedy
+//!   selection of additional views/indices with the incremental cost update
+//!   and monotonicity optimizations (§6);
+//! * [`plan`] — the physical plan IR and the maintenance program handed to
+//!   an executor;
+//! * [`api`] — a one-call facade ([`api::optimize`]).
+
+pub mod api;
+pub mod cost;
+pub mod dag;
+pub mod diff;
+pub mod opt;
+pub mod plan;
+pub mod update;
+
+pub use api::{optimize, MaintenanceProblem, OptimizerReport};
+pub use dag::{Dag, EqId, OpId};
+pub use update::{UpdateId, UpdateModel, UpdateStep};

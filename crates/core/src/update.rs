@@ -1,0 +1,200 @@
+//! Update numbering and the update model.
+//!
+//! §5.2 of the paper: "If there are n relations R₁ … Rₙ, we need to store
+//! information about the differentials of the node with respect to δ⁺R₁,
+//! δ⁻R₁, …, δ⁺Rₙ, δ⁻Rₙ. We number these updates as 1 … 2n." Updates are
+//! propagated **one relation and one kind at a time** (§3.2.2): update
+//! 2i−1 is the batch of inserts on Rᵢ, update 2i the batch of deletes, and
+//! the state of the database "at" update u reflects all updates numbered
+//! below u having been applied.
+
+use mvmqo_relalg::catalog::TableId;
+use mvmqo_storage::delta::DeltaKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One of the 2n update slots, zero-indexed internally (`0 ..= 2n-1`);
+/// the paper's update number is `index + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UpdateId(pub u16);
+
+impl fmt::Display for UpdateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0 + 1)
+    }
+}
+
+/// One update step: which relation, which kind, and the estimated batch
+/// size (rows) used by the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStep {
+    pub id: UpdateId,
+    pub table: TableId,
+    pub kind: DeltaKind,
+    /// Estimated rows in the delta batch.
+    pub rows: f64,
+}
+
+/// The full, ordered update workload of one refresh cycle.
+///
+/// Construction assigns update numbers in the paper's order: both kinds of
+/// one relation before moving to the next, inserts before deletes, relations
+/// in `TableId` order.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateModel {
+    steps: Vec<UpdateStep>,
+    by_table: BTreeMap<TableId, (f64, f64)>,
+}
+
+impl UpdateModel {
+    /// Build from per-table (inserted rows, deleted rows) estimates. Tables
+    /// with zero rows on both sides are omitted.
+    pub fn new(per_table: impl IntoIterator<Item = (TableId, f64, f64)>) -> Self {
+        let mut by_table = BTreeMap::new();
+        for (t, ins, del) in per_table {
+            if ins > 0.0 || del > 0.0 {
+                by_table.insert(t, (ins, del));
+            }
+        }
+        let mut steps = Vec::with_capacity(by_table.len() * 2);
+        for (&table, &(ins, del)) in &by_table {
+            steps.push(UpdateStep {
+                id: UpdateId(steps.len() as u16),
+                table,
+                kind: DeltaKind::Insert,
+                rows: ins,
+            });
+            steps.push(UpdateStep {
+                id: UpdateId(steps.len() as u16),
+                table,
+                kind: DeltaKind::Delete,
+                rows: del,
+            });
+        }
+        UpdateModel { steps, by_table }
+    }
+
+    /// The paper's benchmark update pattern (§7.1): an `x`% update to a
+    /// relation inserts `x%` of its current tuples and deletes `x/2 %`
+    /// (twice as many inserts as deletes — a growing database). `rows_of`
+    /// supplies the current row count per table.
+    pub fn percentage(
+        tables: impl IntoIterator<Item = TableId>,
+        percent: f64,
+        rows_of: impl Fn(TableId) -> f64,
+    ) -> Self {
+        UpdateModel::new(tables.into_iter().map(|t| {
+            let rows = rows_of(t);
+            (
+                t,
+                (rows * percent / 100.0).round(),
+                (rows * percent / 200.0).round(),
+            )
+        }))
+    }
+
+    /// All update steps in propagation order.
+    pub fn steps(&self) -> &[UpdateStep] {
+        &self.steps
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    pub fn step(&self, id: UpdateId) -> &UpdateStep {
+        &self.steps[id.0 as usize]
+    }
+
+    /// Updated tables in propagation order.
+    pub fn tables(&self) -> impl Iterator<Item = TableId> + '_ {
+        self.by_table.keys().copied()
+    }
+
+    /// (inserted, deleted) row estimates for a table; zero if untouched.
+    pub fn table_delta(&self, t: TableId) -> (f64, f64) {
+        self.by_table.get(&t).copied().unwrap_or((0.0, 0.0))
+    }
+
+    /// Net row count of `t` after updates numbered `< before` have been
+    /// applied, starting from `base_rows`.
+    pub fn rows_at(&self, t: TableId, base_rows: f64, before: UpdateId) -> f64 {
+        let mut rows = base_rows;
+        for s in &self.steps {
+            if s.id >= before {
+                break;
+            }
+            if s.table == t {
+                match s.kind {
+                    DeltaKind::Insert => rows += s.rows,
+                    DeltaKind::Delete => rows -= s.rows,
+                }
+            }
+        }
+        rows.max(0.0)
+    }
+
+    /// Net row count after *all* updates.
+    pub fn rows_after_all(&self, t: TableId, base_rows: f64) -> f64 {
+        let (ins, del) = self.table_delta(t);
+        (base_rows + ins - del).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_follows_paper_order() {
+        let m = UpdateModel::new(vec![(TableId(2), 10.0, 5.0), (TableId(0), 4.0, 2.0)]);
+        let steps = m.steps();
+        assert_eq!(steps.len(), 4);
+        // Table order, inserts before deletes.
+        assert_eq!(steps[0].table, TableId(0));
+        assert_eq!(steps[0].kind, DeltaKind::Insert);
+        assert_eq!(steps[1].table, TableId(0));
+        assert_eq!(steps[1].kind, DeltaKind::Delete);
+        assert_eq!(steps[2].table, TableId(2));
+        assert_eq!(steps[2].kind, DeltaKind::Insert);
+    }
+
+    #[test]
+    fn zero_size_steps_are_kept_within_touched_tables() {
+        // A table with inserts but no deletes still gets both slots (the
+        // delete slot has zero rows), keeping the 2n numbering uniform.
+        let m = UpdateModel::new(vec![(TableId(1), 10.0, 0.0)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.step(UpdateId(1)).rows, 0.0);
+    }
+
+    #[test]
+    fn untouched_tables_are_omitted() {
+        let m = UpdateModel::new(vec![(TableId(0), 0.0, 0.0), (TableId(1), 1.0, 0.0)]);
+        assert_eq!(m.tables().collect::<Vec<_>>(), vec![TableId(1)]);
+    }
+
+    #[test]
+    fn percentage_matches_paper_semantics() {
+        let m = UpdateModel::percentage(vec![TableId(0)], 10.0, |_| 1000.0);
+        assert_eq!(m.table_delta(TableId(0)), (100.0, 50.0));
+    }
+
+    #[test]
+    fn rows_at_walks_the_state_sequence() {
+        let m = UpdateModel::new(vec![(TableId(0), 100.0, 40.0), (TableId(1), 10.0, 0.0)]);
+        // Before anything: base.
+        assert_eq!(m.rows_at(TableId(0), 1000.0, UpdateId(0)), 1000.0);
+        // After T0 inserts.
+        assert_eq!(m.rows_at(TableId(0), 1000.0, UpdateId(1)), 1100.0);
+        // After T0 inserts+deletes.
+        assert_eq!(m.rows_at(TableId(0), 1000.0, UpdateId(2)), 1060.0);
+        // T1 unaffected by T0 steps.
+        assert_eq!(m.rows_at(TableId(1), 500.0, UpdateId(2)), 500.0);
+        assert_eq!(m.rows_after_all(TableId(0), 1000.0), 1060.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Reference evaluator: direct, naive evaluation of a [`LogicalExpr`]
+//! against the current database state.
+//!
+//! This is the executor's ground truth. Integration tests compute every
+//! view incrementally through optimizer-chosen plans and compare, as
+//! multisets, against this evaluator run on the post-update database —
+//! the correctness check the paper's authors could not perform (§7.1).
+
+use mvmqo_relalg::agg::Accumulator;
+use mvmqo_relalg::catalog::Catalog;
+use mvmqo_relalg::logical::LogicalExpr;
+use mvmqo_relalg::schema::Schema;
+use mvmqo_relalg::tuple::{bag_minus, bag_union, concat_tuples, Tuple};
+use mvmqo_relalg::types::Value;
+use mvmqo_storage::database::Database;
+use std::collections::HashMap;
+
+/// Evaluate a logical expression directly over `db`.
+pub fn eval_logical(expr: &LogicalExpr, catalog: &Catalog, db: &Database) -> Vec<Tuple> {
+    match expr {
+        LogicalExpr::Scan { table } => db.base(*table).rows().to_vec(),
+        LogicalExpr::Select { input, predicate } => {
+            let schema = input.schema(catalog);
+            eval_logical(input, catalog, db)
+                .into_iter()
+                .filter(|r| predicate.matches(r, &schema))
+                .collect()
+        }
+        LogicalExpr::Project { input, attrs } => {
+            let schema = input.schema(catalog);
+            let positions: Vec<usize> = attrs
+                .iter()
+                .map(|a| schema.position_of(*a).expect("project attr"))
+                .collect();
+            eval_logical(input, catalog, db)
+                .into_iter()
+                .map(|r| positions.iter().map(|&i| r[i].clone()).collect())
+                .collect()
+        }
+        LogicalExpr::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let ls = left.schema(catalog);
+            let rs = right.schema(catalog);
+            let combined = ls.concat(&rs);
+            let lrows = eval_logical(left, catalog, db);
+            let rrows = eval_logical(right, catalog, db);
+            let mut out = Vec::new();
+            for l in &lrows {
+                for r in &rrows {
+                    let joined = concat_tuples(l, r);
+                    if predicate.is_true() || predicate.matches(&joined, &combined) {
+                        out.push(joined);
+                    }
+                }
+            }
+            out
+        }
+        LogicalExpr::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let schema = input.schema(catalog);
+            let rows = eval_logical(input, catalog, db);
+            aggregate_reference(&rows, &schema, group_by, aggs)
+        }
+        LogicalExpr::UnionAll { left, right } => bag_union(
+            &eval_logical(left, catalog, db),
+            &eval_logical(right, catalog, db),
+        ),
+        LogicalExpr::Minus { left, right } => bag_minus(
+            &eval_logical(left, catalog, db),
+            &eval_logical(right, catalog, db),
+        ),
+        LogicalExpr::Distinct { input } => {
+            let mut seen: HashMap<Tuple, ()> = HashMap::new();
+            let mut out = Vec::new();
+            for r in eval_logical(input, catalog, db) {
+                if seen.insert(r.clone(), ()).is_none() {
+                    out.push(r);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn aggregate_reference(
+    rows: &[Tuple],
+    schema: &Schema,
+    group_by: &[mvmqo_relalg::schema::AttrId],
+    aggs: &[mvmqo_relalg::agg::AggSpec],
+) -> Vec<Tuple> {
+    let key_pos: Vec<usize> = group_by
+        .iter()
+        .map(|g| schema.position_of(*g).expect("group attr"))
+        .collect();
+    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    for row in rows {
+        let key: Vec<Value> = key_pos.iter().map(|&i| row[i].clone()).collect();
+        let entry = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|s| Accumulator::new(s.func)).collect());
+        for (acc, spec) in entry.iter_mut().zip(aggs) {
+            acc.add(&spec.input.eval(row, schema));
+        }
+    }
+    let mut out: Vec<Tuple> = groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut row = key;
+            row.extend(accs.iter().map(Accumulator::finish));
+            row
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmqo_relalg::agg::{AggFunc, AggSpec};
+    use mvmqo_relalg::catalog::ColumnSpec;
+    use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
+    use mvmqo_relalg::types::DataType;
+    use mvmqo_storage::table::StoredTable;
+
+    fn setup() -> (Catalog, Database, mvmqo_relalg::catalog::TableId) {
+        let mut c = Catalog::new();
+        let t = c.add_table(
+            "t",
+            vec![
+                ColumnSpec::key("k", DataType::Int),
+                ColumnSpec::with_distinct("g", DataType::Int, 2.0),
+            ],
+            4.0,
+            &["k"],
+        );
+        let mut db = Database::new();
+        db.put_base(
+            t,
+            StoredTable::with_rows(
+                c.table(t).schema.clone(),
+                vec![
+                    vec![Value::Int(1), Value::Int(0)],
+                    vec![Value::Int(2), Value::Int(1)],
+                    vec![Value::Int(3), Value::Int(0)],
+                    vec![Value::Int(4), Value::Int(1)],
+                ],
+            ),
+        );
+        (c, db, t)
+    }
+
+    #[test]
+    fn select_filters() {
+        let (c, db, t) = setup();
+        let g = c.table(t).attr("g");
+        let e = LogicalExpr::select(
+            LogicalExpr::scan(t),
+            Predicate::from_expr(ScalarExpr::col_cmp_lit(g, CmpOp::Eq, 0i64)),
+        );
+        assert_eq!(eval_logical(&e, &c, &db).len(), 2);
+    }
+
+    #[test]
+    fn aggregate_counts_groups() {
+        let (mut c, db, t) = setup();
+        let g = c.table(t).attr("g");
+        let k = c.table(t).attr("k");
+        let out = c.fresh_attr();
+        let e = LogicalExpr::aggregate(
+            LogicalExpr::scan(t),
+            vec![g],
+            vec![AggSpec::new(AggFunc::Sum, ScalarExpr::Col(k), out)],
+        );
+        let rows = eval_logical(&e, &c, &db);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec![Value::Int(0), Value::Int(4)]));
+        assert!(rows.contains(&vec![Value::Int(1), Value::Int(6)]));
+    }
+
+    #[test]
+    fn join_is_cartesian_with_filter() {
+        let (mut c, mut db, t) = setup();
+        let u = c.add_table(
+            "u",
+            vec![ColumnSpec::key("g2", DataType::Int)],
+            2.0,
+            &["g2"],
+        );
+        db.put_base(
+            u,
+            StoredTable::with_rows(
+                c.table(u).schema.clone(),
+                vec![vec![Value::Int(0)], vec![Value::Int(1)]],
+            ),
+        );
+        let g = c.table(t).attr("g");
+        let g2 = c.table(u).attr("g2");
+        let cross = LogicalExpr::Join {
+            left: LogicalExpr::scan(t),
+            right: LogicalExpr::scan(u),
+            predicate: Predicate::true_(),
+        };
+        assert_eq!(eval_logical(&cross, &c, &db).len(), 8);
+        let filtered = LogicalExpr::Join {
+            left: LogicalExpr::scan(t),
+            right: LogicalExpr::scan(u),
+            predicate: Predicate::from_expr(ScalarExpr::col_eq_col(g, g2)),
+        };
+        assert_eq!(eval_logical(&filtered, &c, &db).len(), 4);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let (c, mut db, t) = setup();
+        let rows = db.base(t).rows().to_vec();
+        let doubled: Vec<Tuple> = rows.iter().chain(rows.iter()).cloned().collect();
+        db.put_base(
+            t,
+            StoredTable::with_rows(c.table(t).schema.clone(), doubled),
+        );
+        let e = LogicalExpr::distinct(LogicalExpr::scan(t));
+        assert_eq!(eval_logical(&e, &c, &db).len(), 4);
+    }
+}

@@ -1,0 +1,803 @@
+//! Execution runtime: stored materializations, plan evaluation, and delta
+//! merging.
+//!
+//! The runtime owns the materialized results (user views, permanent extras,
+//! and on-demand temporaries), evaluates [`PhysPlan`]s against the *current*
+//! database state, and applies computed differentials. Temporarily
+//! materialized results are recomputed on demand and invalidated whenever a
+//! base relation they depend on is updated, which keeps every full input a
+//! delta plan reads in exactly the state updates `1..u−1` applied — the
+//! semantics §5.2's per-node state entries describe.
+
+use crate::meter::Meter;
+use mvmqo_core::cost::CostModel;
+use mvmqo_core::dag::{Dag, EqId};
+use mvmqo_core::opt::StoredRef;
+use mvmqo_core::plan::{PhysPlan, PlanNode};
+use mvmqo_core::update::UpdateId;
+use mvmqo_relalg::agg::{Accumulator, AggSpec};
+use mvmqo_relalg::catalog::Catalog;
+use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
+use mvmqo_relalg::schema::{AttrId, Schema};
+use mvmqo_relalg::tuple::{bag_minus, Tuple};
+use mvmqo_relalg::types::Value;
+use mvmqo_storage::database::Database;
+use mvmqo_storage::delta::{DeltaKind, DeltaSet};
+use mvmqo_storage::index::IndexKind;
+use mvmqo_storage::table::StoredTable;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Hidden per-group accumulator state for a maintained aggregate view
+/// (footnote 1 of the paper: counts must be kept to apply deletions).
+#[derive(Debug, Clone)]
+pub struct AggState {
+    pub group_by: Vec<AttrId>,
+    pub specs: Vec<AggSpec>,
+    pub input_schema: Schema,
+    groups: HashMap<Vec<Value>, Vec<Accumulator>>,
+}
+
+impl AggState {
+    fn new(group_by: Vec<AttrId>, specs: Vec<AggSpec>, input_schema: Schema) -> Self {
+        AggState {
+            group_by,
+            specs,
+            input_schema,
+            groups: HashMap::new(),
+        }
+    }
+
+    fn key_positions(&self) -> Vec<usize> {
+        self.group_by
+            .iter()
+            .map(|g| self.input_schema.position_of(*g).expect("group attr"))
+            .collect()
+    }
+
+    /// Fold raw input rows in (inserts) or out (deletes). Returns `true` if
+    /// a non-removable aggregate (MIN/MAX) saw a deletion and the state can
+    /// no longer answer exactly — the caller must recompute.
+    fn fold(&mut self, rows: &[Tuple], kind: DeltaKind) -> bool {
+        let key_pos = self.key_positions();
+        let mut needs_recompute = false;
+        for row in rows {
+            let key: Vec<Value> = key_pos.iter().map(|&i| row[i].clone()).collect();
+            let specs = &self.specs;
+            let entry = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| specs.iter().map(|s| Accumulator::new(s.func)).collect());
+            for (acc, spec) in entry.iter_mut().zip(specs) {
+                let v = spec.input.eval(row, &self.input_schema);
+                match kind {
+                    DeltaKind::Insert => acc.add(&v),
+                    DeltaKind::Delete => {
+                        if spec.func.removable() {
+                            acc.remove(&v);
+                        } else {
+                            needs_recompute = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Drop extinct groups.
+        self.groups.retain(|_, accs| !accs[0].is_empty());
+        needs_recompute
+    }
+
+    /// Current view rows: group key columns followed by aggregate values.
+    fn rows(&self) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self
+            .groups
+            .iter()
+            .map(|(key, accs)| {
+                let mut row = key.clone();
+                row.extend(accs.iter().map(Accumulator::finish));
+                row
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Hidden support counts for a maintained DISTINCT view.
+#[derive(Debug, Clone, Default)]
+pub struct DistinctState {
+    counts: HashMap<Tuple, i64>,
+}
+
+impl DistinctState {
+    fn fold(&mut self, rows: &[Tuple], kind: DeltaKind) {
+        for row in rows {
+            let c = self.counts.entry(row.clone()).or_insert(0);
+            match kind {
+                DeltaKind::Insert => *c += 1,
+                DeltaKind::Delete => *c -= 1,
+            }
+        }
+        self.counts.retain(|_, c| *c > 0);
+    }
+
+    fn rows(&self) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self.counts.keys().cloned().collect();
+        out.sort();
+        out
+    }
+}
+
+/// The execution runtime for one maintenance cycle.
+pub struct Runtime<'a> {
+    pub dag: &'a Dag,
+    pub catalog: &'a Catalog,
+    pub model: CostModel,
+    pub db: &'a mut Database,
+    pub deltas: &'a DeltaSet,
+    full_plans: BTreeMap<EqId, PhysPlan>,
+    /// Indices to maintain on materialized nodes (chosen by the optimizer).
+    mat_indices: HashMap<EqId, Vec<AttrId>>,
+    mats: HashMap<EqId, StoredTable>,
+    fresh: HashSet<EqId>,
+    agg_states: HashMap<EqId, AggState>,
+    distinct_states: HashMap<EqId, DistinctState>,
+    delta_store: HashMap<(EqId, UpdateId), Vec<Tuple>>,
+    pub meter: Meter,
+}
+
+impl<'a> Runtime<'a> {
+    pub fn new(
+        dag: &'a Dag,
+        catalog: &'a Catalog,
+        model: CostModel,
+        db: &'a mut Database,
+        deltas: &'a DeltaSet,
+        full_plans: BTreeMap<EqId, PhysPlan>,
+        mat_indices: HashMap<EqId, Vec<AttrId>>,
+    ) -> Self {
+        Runtime {
+            dag,
+            catalog,
+            model,
+            db,
+            deltas,
+            full_plans,
+            mat_indices,
+            mats: HashMap::new(),
+            fresh: HashSet::new(),
+            agg_states: HashMap::new(),
+            distinct_states: HashMap::new(),
+            delta_store: HashMap::new(),
+            meter: Meter::new(),
+        }
+    }
+
+    /// Rows of a materialized result (test/report access; does not compute).
+    pub fn mat_rows(&self, e: EqId) -> Option<&[Tuple]> {
+        self.mats.get(&e).map(|t| t.rows())
+    }
+
+    /// Ensure a materialized result exists and is fresh; returns its rows.
+    pub fn materialize(&mut self, e: EqId) -> &StoredTable {
+        if !self.fresh.contains(&e) {
+            let plan = self
+                .full_plans
+                .get(&e)
+                .unwrap_or_else(|| panic!("no full plan for materialized node {e}"))
+                .clone();
+            let schema = plan.schema.clone();
+            let rows = match &plan.node {
+                PlanNode::HashAggregate {
+                    input,
+                    group_by,
+                    aggs,
+                } => {
+                    // Build hidden accumulator state so later deletions can
+                    // be applied (footnote 1).
+                    let input_rows = self.eval(input);
+                    let mut state =
+                        AggState::new(group_by.clone(), aggs.clone(), input.schema.clone());
+                    state.fold(&input_rows, DeltaKind::Insert);
+                    let rows = state.rows();
+                    self.agg_states.insert(e, state);
+                    rows
+                }
+                PlanNode::Distinct { input } => {
+                    let input_rows = self.eval(input);
+                    let mut state = DistinctState::default();
+                    state.fold(&input_rows, DeltaKind::Insert);
+                    let rows = state.rows();
+                    self.distinct_states.insert(e, state);
+                    rows
+                }
+                _ => self.eval(&plan),
+            };
+            self.meter
+                .charge_seq(&self.model, rows.len(), schema.row_width());
+            let mut table = StoredTable::with_rows(schema, rows);
+            for attr in self.mat_indices.get(&e).cloned().unwrap_or_default() {
+                table.create_index(attr, IndexKind::Hash);
+            }
+            self.mats.insert(e, table);
+            self.fresh.insert(e);
+        }
+        self.mats.get(&e).expect("just materialized")
+    }
+
+    /// Drop a temporary materialization.
+    pub fn drop_mat(&mut self, e: EqId) {
+        self.mats.remove(&e);
+        self.fresh.remove(&e);
+        self.agg_states.remove(&e);
+        self.distinct_states.remove(&e);
+    }
+
+    /// Mark every materialization depending on `table` stale, except the
+    /// maintained ones listed in `keep` (they were just merged).
+    pub fn invalidate_depending(
+        &mut self,
+        table: mvmqo_relalg::catalog::TableId,
+        keep: &HashSet<EqId>,
+    ) {
+        let stale: Vec<EqId> = self
+            .fresh
+            .iter()
+            .copied()
+            .filter(|e| self.dag.eq(*e).depends_on(table) && !keep.contains(e))
+            .collect();
+        for e in stale {
+            self.fresh.remove(&e);
+        }
+    }
+
+    /// Store a temporarily materialized differential.
+    pub fn store_delta(&mut self, e: EqId, u: UpdateId, rows: Vec<Tuple>) {
+        self.meter
+            .charge_seq(&self.model, rows.len(), self.dag.eq(e).schema.row_width());
+        self.delta_store.insert((e, u), rows);
+    }
+
+    /// Clear stored differentials of one update step.
+    pub fn clear_deltas(&mut self, u: UpdateId) {
+        self.delta_store.retain(|(_, du), _| *du != u);
+    }
+
+    // ==================================================================
+    // Merging (§6.1: how maintained results absorb differentials)
+    // ==================================================================
+
+    /// Merge plain delta rows into a maintained result.
+    pub fn merge_plain(&mut self, e: EqId, rows: Vec<Tuple>, kind: DeltaKind) {
+        let width = self.dag.eq(e).schema.row_width();
+        self.meter.charge_seq(&self.model, rows.len(), width);
+        let table = self.mats.get_mut(&e).expect("maintained result stored");
+        match kind {
+            DeltaKind::Insert => {
+                table.apply_delta(&mvmqo_storage::delta::DeltaBatch::new(rows, vec![]))
+            }
+            DeltaKind::Delete => {
+                table.apply_delta(&mvmqo_storage::delta::DeltaBatch::new(vec![], rows))
+            }
+        }
+        self.fresh.insert(e);
+    }
+
+    /// Merge raw input delta rows into a maintained aggregate. Returns
+    /// `true` if the view had to fall back to recomputation (MIN/MAX
+    /// deletion).
+    pub fn merge_aggregate(&mut self, e: EqId, input_rows: Vec<Tuple>, kind: DeltaKind) -> bool {
+        self.meter.charge_cpu(&self.model, input_rows.len());
+        let state = self.agg_states.get_mut(&e).expect("aggregate state");
+        let needs_recompute = state.fold(&input_rows, kind);
+        if needs_recompute {
+            // Affected-group recompute, realized as a full refresh (§3.1.2's
+            // "significant extra work"; the cost model charges the same).
+            self.fresh.remove(&e);
+            self.materialize(e);
+            return true;
+        }
+        let rows = state.rows();
+        let schema = self.mats.get(&e).expect("stored").schema().clone();
+        let mut table = StoredTable::with_rows(schema, rows);
+        for attr in self.mat_indices.get(&e).cloned().unwrap_or_default() {
+            table.create_index(attr, IndexKind::Hash);
+        }
+        self.mats.insert(e, table);
+        self.fresh.insert(e);
+        false
+    }
+
+    /// Merge raw input delta rows into a maintained DISTINCT view.
+    pub fn merge_distinct(&mut self, e: EqId, input_rows: Vec<Tuple>, kind: DeltaKind) {
+        self.meter.charge_cpu(&self.model, input_rows.len());
+        let state = self.distinct_states.get_mut(&e).expect("distinct state");
+        state.fold(&input_rows, kind);
+        let rows = state.rows();
+        let schema = self.mats.get(&e).expect("stored").schema().clone();
+        self.mats.insert(e, StoredTable::with_rows(schema, rows));
+        self.fresh.insert(e);
+    }
+
+    // ==================================================================
+    // Plan evaluation
+    // ==================================================================
+
+    /// Evaluate a physical plan against the current state.
+    pub fn eval(&mut self, plan: &PhysPlan) -> Vec<Tuple> {
+        match &plan.node {
+            PlanNode::ScanBase(t) => {
+                let rows = self.db.base(*t).rows().to_vec();
+                self.meter
+                    .charge_seq(&self.model, rows.len(), plan.schema.row_width());
+                rows
+            }
+            PlanNode::ScanDelta { table, kind } => {
+                let rows = self.deltas.side(*table, *kind).to_vec();
+                self.meter
+                    .charge_seq(&self.model, rows.len(), plan.schema.row_width());
+                rows
+            }
+            PlanNode::ReadMat(e) => {
+                self.materialize(*e);
+                let table = self.mats.get(e).expect("materialized");
+                let rows = align_rows(table.rows().to_vec(), table.schema(), &plan.schema);
+                self.meter
+                    .charge_seq(&self.model, rows.len(), plan.schema.row_width());
+                rows
+            }
+            PlanNode::ReadDelta(e, u) => {
+                let rows = self
+                    .delta_store
+                    .get(&(*e, *u))
+                    .cloned()
+                    .unwrap_or_else(|| panic!("δ({e},{u}) not stored"));
+                self.meter
+                    .charge_seq(&self.model, rows.len(), plan.schema.row_width());
+                rows
+            }
+            PlanNode::IndexScan { target, attr, pred } => self.eval_index_scan(plan, *target, *attr, pred),
+            PlanNode::Filter { input, pred } => {
+                let rows = self.eval(input);
+                self.meter.charge_cpu(&self.model, rows.len());
+                rows.into_iter()
+                    .filter(|r| pred.matches(r, &input.schema))
+                    .collect()
+            }
+            PlanNode::Project { input, attrs } => {
+                let rows = self.eval(input);
+                self.meter.charge_cpu(&self.model, rows.len());
+                let positions: Vec<usize> = attrs
+                    .iter()
+                    .map(|a| input.schema.position_of(*a).expect("project attr"))
+                    .collect();
+                rows.into_iter()
+                    .map(|r| positions.iter().map(|&i| r[i].clone()).collect())
+                    .collect()
+            }
+            PlanNode::HashJoin {
+                build,
+                probe,
+                keys,
+                residual,
+            } => self.eval_hash_join(plan, build, probe, keys, residual),
+            PlanNode::MergeJoin {
+                left,
+                right,
+                keys,
+                residual,
+            } => self.eval_merge_join(plan, left, right, keys, residual),
+            PlanNode::NlJoin { left, right, pred } => self.eval_nl_join(plan, left, right, pred),
+            PlanNode::IndexNlJoin {
+                outer,
+                inner,
+                keys,
+                inner_filter,
+                residual,
+            } => self.eval_index_nl_join(plan, outer, *inner, *keys, inner_filter, residual),
+            PlanNode::HashAggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let input_rows = self.eval(input);
+                self.meter.charge_cpu(&self.model, input_rows.len());
+                let mut state = AggState::new(group_by.clone(), aggs.clone(), input.schema.clone());
+                state.fold(&input_rows, DeltaKind::Insert);
+                state.rows()
+            }
+            PlanNode::UnionAll(inputs) => {
+                let mut out = Vec::new();
+                for i in inputs {
+                    let rows = self.eval(i);
+                    out.extend(align_rows(rows, &i.schema, &plan.schema));
+                }
+                self.meter.charge_cpu(&self.model, out.len());
+                out
+            }
+            PlanNode::Minus { left, right } => {
+                let l = self.eval(left);
+                let r = align_rows(self.eval(right), &right.schema, &left.schema);
+                self.meter.charge_cpu(&self.model, l.len() + r.len());
+                bag_minus(&l, &r)
+            }
+            PlanNode::Distinct { input } => {
+                let rows = self.eval(input);
+                self.meter.charge_cpu(&self.model, rows.len());
+                let mut state = DistinctState::default();
+                state.fold(&rows, DeltaKind::Insert);
+                state.rows()
+            }
+        }
+    }
+
+    fn eval_index_scan(
+        &mut self,
+        plan: &PhysPlan,
+        target: StoredRef,
+        attr: AttrId,
+        pred: &Predicate,
+    ) -> Vec<Tuple> {
+        // Equality probe when possible, else a filtered scan.
+        let eq_value = pred.conjuncts().iter().find_map(|c| {
+            if let ScalarExpr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+                match (lhs.as_ref(), rhs.as_ref()) {
+                    (ScalarExpr::Col(a), ScalarExpr::Lit(v)) if *a == attr => Some(v.clone()),
+                    (ScalarExpr::Lit(v), ScalarExpr::Col(a)) if *a == attr => Some(v.clone()),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        });
+        let (rows, schema, total) = {
+            let table = self.stored_table(target);
+            let schema = table.schema().clone();
+            let total = table.len();
+            let rows: Vec<Tuple> = match (&eq_value, table.index_on(attr)) {
+                (Some(v), Some(idx)) => idx
+                    .lookup_eq(v)
+                    .iter()
+                    .map(|&pos| table.row(pos).clone())
+                    .collect(),
+                _ => table.rows().to_vec(),
+            };
+            (rows, schema, total)
+        };
+        let filtered: Vec<Tuple> = rows
+            .into_iter()
+            .filter(|r| pred.matches(r, &schema))
+            .collect();
+        self.meter.charge_probes(
+            &self.model,
+            1,
+            filtered.len().max(1),
+            total,
+            schema.row_width(),
+        );
+        align_rows(filtered, &schema, &plan.schema)
+    }
+
+    fn eval_hash_join(
+        &mut self,
+        plan: &PhysPlan,
+        build: &PhysPlan,
+        probe: &PhysPlan,
+        keys: &[(AttrId, AttrId)],
+        residual: &Predicate,
+    ) -> Vec<Tuple> {
+        let build_rows = self.eval(build);
+        let probe_rows = self.eval(probe);
+        let bpos: Vec<usize> = keys
+            .iter()
+            .map(|(b, _)| build.schema.position_of(*b).expect("build key"))
+            .collect();
+        let ppos: Vec<usize> = keys
+            .iter()
+            .map(|(_, p)| probe.schema.position_of(*p).expect("probe key"))
+            .collect();
+        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(build_rows.len());
+        for row in &build_rows {
+            let key: Vec<Value> = bpos.iter().map(|&i| row[i].clone()).collect();
+            table.entry(key).or_default().push(row);
+        }
+        let combined = build.schema.concat(&probe.schema);
+        let out_positions = positions_for(&combined, &plan.schema);
+        let mut out = Vec::new();
+        for prow in &probe_rows {
+            let key: Vec<Value> = ppos.iter().map(|&i| prow[i].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = table.get(&key) {
+                for brow in matches {
+                    let joined = mvmqo_relalg::tuple::concat_tuples(brow, prow);
+                    if residual.is_true() || residual.matches(&joined, &combined) {
+                        out.push(project_positions(&joined, &out_positions));
+                    }
+                }
+            }
+        }
+        self.meter
+            .charge_cpu(&self.model, build_rows.len() + probe_rows.len() + out.len());
+        out
+    }
+
+    fn eval_merge_join(
+        &mut self,
+        plan: &PhysPlan,
+        left: &PhysPlan,
+        right: &PhysPlan,
+        keys: &[(AttrId, AttrId)],
+        residual: &Predicate,
+    ) -> Vec<Tuple> {
+        let mut lrows = self.eval(left);
+        let mut rrows = self.eval(right);
+        let lpos: Vec<usize> = keys
+            .iter()
+            .map(|(l, _)| left.schema.position_of(*l).expect("left key"))
+            .collect();
+        let rpos: Vec<usize> = keys
+            .iter()
+            .map(|(_, r)| right.schema.position_of(*r).expect("right key"))
+            .collect();
+        let key_of = |row: &Tuple, pos: &[usize]| -> Vec<Value> {
+            pos.iter().map(|&i| row[i].clone()).collect()
+        };
+        lrows.sort_by_key(|a| key_of(a, &lpos));
+        rrows.sort_by_key(|a| key_of(a, &rpos));
+        // Charge the sorts.
+        self.meter
+            .charge_cpu(&self.model, lrows.len() + rrows.len());
+        let combined = left.schema.concat(&right.schema);
+        let out_positions = positions_for(&combined, &plan.schema);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lrows.len() && j < rrows.len() {
+            let lk = key_of(&lrows[i], &lpos);
+            let rk = key_of(&rrows[j], &rpos);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Cross product of the equal-key groups.
+                    let i_end = (i..lrows.len())
+                        .take_while(|&x| key_of(&lrows[x], &lpos) == lk)
+                        .last()
+                        .unwrap()
+                        + 1;
+                    let j_end = (j..rrows.len())
+                        .take_while(|&x| key_of(&rrows[x], &rpos) == rk)
+                        .last()
+                        .unwrap()
+                        + 1;
+                    for lrow in &lrows[i..i_end] {
+                        for rrow in &rrows[j..j_end] {
+                            let joined = mvmqo_relalg::tuple::concat_tuples(lrow, rrow);
+                            if residual.is_true() || residual.matches(&joined, &combined) {
+                                out.push(project_positions(&joined, &out_positions));
+                            }
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        self.meter.charge_cpu(&self.model, out.len());
+        out
+    }
+
+    fn eval_nl_join(
+        &mut self,
+        plan: &PhysPlan,
+        left: &PhysPlan,
+        right: &PhysPlan,
+        pred: &Predicate,
+    ) -> Vec<Tuple> {
+        let lrows = self.eval(left);
+        let rrows = self.eval(right);
+        let combined = left.schema.concat(&right.schema);
+        let out_positions = positions_for(&combined, &plan.schema);
+        let mut out = Vec::new();
+        for l in &lrows {
+            for r in &rrows {
+                let joined = mvmqo_relalg::tuple::concat_tuples(l, r);
+                if pred.is_true() || pred.matches(&joined, &combined) {
+                    out.push(project_positions(&joined, &out_positions));
+                }
+            }
+        }
+        self.meter
+            .charge_cpu(&self.model, lrows.len() * rrows.len().max(1) / 10 + out.len());
+        out
+    }
+
+    fn eval_index_nl_join(
+        &mut self,
+        plan: &PhysPlan,
+        outer: &PhysPlan,
+        inner: StoredRef,
+        keys: (AttrId, AttrId),
+        inner_filter: &Predicate,
+        residual: &Predicate,
+    ) -> Vec<Tuple> {
+        let outer_rows = self.eval(outer);
+        let okey_pos = outer.schema.position_of(keys.0).expect("outer key");
+        // Snapshot the inner; probing goes through its index, created on
+        // demand if the optimizer assumed one. (The clone keeps the borrow
+        // checker happy across the recursive evaluator; at the simulation
+        // scales this executor targets it is not a bottleneck.)
+        let inner_table = {
+            let t = self.stored_table_mut(inner);
+            if t.index_on(keys.1).is_none() {
+                t.create_index(keys.1, IndexKind::Hash);
+            }
+            t.clone()
+        };
+        let inner_schema = inner_table.schema().clone();
+        let combined = outer.schema.concat(&inner_schema);
+        let out_positions = positions_for(&combined, &plan.schema);
+        let idx = inner_table.index_on(keys.1).expect("inner index");
+        let mut out = Vec::new();
+        let mut pages = 0usize;
+        for orow in &outer_rows {
+            let key = &orow[okey_pos];
+            if key.is_null() {
+                continue;
+            }
+            for &pos in idx.lookup_eq(key) {
+                let irow = inner_table.row(pos);
+                if !inner_filter.is_true() && !inner_filter.matches(irow, &inner_schema) {
+                    continue;
+                }
+                pages += 1;
+                let joined = mvmqo_relalg::tuple::concat_tuples(orow, irow);
+                if residual.is_true() || residual.matches(&joined, &combined) {
+                    out.push(project_positions(&joined, &out_positions));
+                }
+            }
+        }
+        self.meter.charge_probes(
+            &self.model,
+            outer_rows.len(),
+            pages,
+            inner_table.len(),
+            inner_schema.row_width(),
+        );
+        out
+    }
+
+    /// Resolve a stored relation reference (immutable).
+    fn stored_table(&mut self, target: StoredRef) -> &StoredTable {
+        match target {
+            StoredRef::Base(t) => self.db.base(t),
+            StoredRef::Mat(e) => self.materialize(e),
+        }
+    }
+
+    /// Resolve a stored relation reference (mutable, for on-demand index
+    /// creation).
+    fn stored_table_mut(&mut self, target: StoredRef) -> &mut StoredTable {
+        match target {
+            StoredRef::Base(t) => self.db.base_mut(t),
+            StoredRef::Mat(e) => {
+                self.materialize(e);
+                self.mats.get_mut(&e).expect("materialized")
+            }
+        }
+    }
+}
+
+/// Reorder rows from one schema layout to another (same attribute set).
+pub fn align_rows(rows: Vec<Tuple>, from: &Schema, to: &Schema) -> Vec<Tuple> {
+    if from.ids() == to.ids() {
+        return rows;
+    }
+    let positions = positions_for(from, to);
+    rows.into_iter()
+        .map(|r| project_positions(&r, &positions))
+        .collect()
+}
+
+fn positions_for(from: &Schema, to: &Schema) -> Vec<usize> {
+    to.ids()
+        .iter()
+        .map(|a| {
+            from.position_of(*a)
+                .unwrap_or_else(|| panic!("attribute {a} missing during alignment"))
+        })
+        .collect()
+}
+
+fn project_positions(row: &[Value], positions: &[usize]) -> Tuple {
+    positions.iter().map(|&i| row[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmqo_relalg::schema::Attribute;
+    use mvmqo_relalg::types::DataType;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::new(
+            ids.iter()
+                .map(|&i| Attribute {
+                    id: AttrId(i),
+                    name: format!("a{i}"),
+                    data_type: DataType::Int,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn align_rows_reorders_columns() {
+        let from = schema(&[1, 2]);
+        let to = schema(&[2, 1]);
+        let rows = vec![vec![Value::Int(10), Value::Int(20)]];
+        let out = align_rows(rows, &from, &to);
+        assert_eq!(out[0], vec![Value::Int(20), Value::Int(10)]);
+    }
+
+    #[test]
+    fn agg_state_fold_and_unfold() {
+        let s = schema(&[0, 1]);
+        let mut state = AggState::new(
+            vec![AttrId(0)],
+            vec![AggSpec::new(
+                mvmqo_relalg::agg::AggFunc::Sum,
+                ScalarExpr::Col(AttrId(1)),
+                AttrId(5),
+            )],
+            s,
+        );
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(1), Value::Int(5)],
+            vec![Value::Int(2), Value::Int(7)],
+        ];
+        assert!(!state.fold(&rows, DeltaKind::Insert));
+        assert_eq!(state.rows().len(), 2);
+        // Delete one row of group 1.
+        assert!(!state.fold(
+            &[vec![Value::Int(1), Value::Int(10)]],
+            DeltaKind::Delete
+        ));
+        let out = state.rows();
+        assert!(out.contains(&vec![Value::Int(1), Value::Int(5)]));
+        // Delete the rest of group 1 → group disappears.
+        state.fold(&[vec![Value::Int(1), Value::Int(5)]], DeltaKind::Delete);
+        assert_eq!(state.rows().len(), 1);
+    }
+
+    #[test]
+    fn min_delete_requests_recompute() {
+        let s = schema(&[0, 1]);
+        let mut state = AggState::new(
+            vec![AttrId(0)],
+            vec![AggSpec::new(
+                mvmqo_relalg::agg::AggFunc::Min,
+                ScalarExpr::Col(AttrId(1)),
+                AttrId(5),
+            )],
+            s,
+        );
+        state.fold(&[vec![Value::Int(1), Value::Int(10)]], DeltaKind::Insert);
+        assert!(state.fold(&[vec![Value::Int(1), Value::Int(10)]], DeltaKind::Delete));
+    }
+
+    #[test]
+    fn distinct_state_counts_support() {
+        let mut d = DistinctState::default();
+        d.fold(
+            &[vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            DeltaKind::Insert,
+        );
+        assert_eq!(d.rows().len(), 2);
+        d.fold(&[vec![Value::Int(1)]], DeltaKind::Delete);
+        assert_eq!(d.rows().len(), 2); // support 1 left
+        d.fold(&[vec![Value::Int(1)]], DeltaKind::Delete);
+        assert_eq!(d.rows().len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mvmqo-relalg
+//!
+//! Multiset relational algebra substrate for the `mvmqo` reproduction of
+//! *Materialized View Selection and Maintenance Using Multi-Query
+//! Optimization* (Mistry, Roy, Ramamritham, Sudarshan — SIGMOD 2001).
+//!
+//! This crate provides everything the optimizer and executor need to talk
+//! about data *logically*:
+//!
+//! * [`types`] — scalar values with a total order (multiset keys),
+//! * [`tuple`] — rows and bag (multiset) helpers,
+//! * [`schema`] — globally-unique attribute identities and schemas,
+//! * [`expr`] — scalar expressions and canonical conjunctive predicates,
+//! * [`agg`] — aggregate functions and incremental accumulators,
+//! * [`logical`] — the logical operator tree views are written in,
+//! * [`catalog`] — table definitions, keys, and base statistics,
+//! * [`stats`] — cardinality estimation used by the cost model.
+//!
+//! Nothing in this crate knows about DAGs, deltas, or plans; those live in
+//! `mvmqo-core`.
+
+pub mod agg;
+pub mod catalog;
+pub mod expr;
+pub mod logical;
+pub mod schema;
+pub mod stats;
+pub mod tuple;
+pub mod types;
+
+pub use agg::{AggFunc, AggSpec};
+pub use catalog::{Catalog, ColumnSpec, ForeignKey, TableDef, TableId};
+pub use expr::{ArithOp, CmpOp, Predicate, ScalarExpr};
+pub use logical::{LogicalExpr, ViewDef};
+pub use schema::{AttrAllocator, AttrId, Attribute, Schema};
+pub use stats::{ColStats, RelStats};
+pub use tuple::Tuple;
+pub use types::{DataType, Value};

@@ -1,0 +1,314 @@
+//! Scalar data types and runtime values of the multiset relational algebra.
+//!
+//! Values must be hashable and totally ordered so that they can serve as
+//! grouping keys, join keys, and index keys. Floating-point values are
+//! wrapped so that `NaN` has a defined (greatest) position in the order and a
+//! stable hash; the engine never produces `NaN` from well-formed inputs, but
+//! the total order keeps every container well-defined regardless.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Logical type of a column or scalar expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float with total order semantics.
+    Float,
+    /// Immutable UTF-8 string.
+    Str,
+    /// Days since an arbitrary epoch; kept distinct from `Int` so schema
+    /// checks catch accidental mixing.
+    Date,
+    /// Boolean, produced by predicates.
+    Bool,
+}
+
+impl DataType {
+    /// Width in bytes used for row-size accounting in the cost model.
+    /// Strings are charged a fixed average width, matching how the paper's
+    /// cost model works from catalog-level row widths rather than actual
+    /// payloads.
+    pub fn estimated_width(self) -> usize {
+        match self {
+            DataType::Int => 8,
+            DataType::Float => 8,
+            DataType::Str => 24,
+            DataType::Date => 4,
+            DataType::Bool => 1,
+        }
+    }
+
+    /// True if values of this type can be summed/averaged.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STR",
+            DataType::Date => "DATE",
+            DataType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime scalar value.
+///
+/// `Clone` is cheap: strings are reference-counted.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(Arc<str>),
+    Date(i32),
+    Bool(bool),
+    /// SQL-style null; compares greater than every non-null value so sorts
+    /// are total, and equals only itself in grouping (multiset semantics,
+    /// consistent with SQL `GROUP BY`).
+    Null,
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The data type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Null => None,
+        }
+    }
+
+    /// Numeric view of the value, coercing `Int`/`Date` to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Date(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view, when the value is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean view, when the value is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Rank used to order values of different types; gives the total order a
+    /// deterministic cross-type component (needed for sorting heterogeneous
+    /// columns that should never occur in well-typed plans, but keeps sort
+    /// total regardless).
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Bool(_) => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 1, // numeric values compare by magnitude
+            Value::Date(_) => 2,
+            Value::Str(_) => 3,
+            Value::Null => 4,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Date(d) => write!(f, "@{d}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Null, Null) => Ordering::Equal,
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(v) => {
+                state.write_u8(1);
+                // Hash ints through their float image so Int(2) and
+                // Float(2.0) — which compare equal — hash identically.
+                state.write_u64((*v as f64).to_bits());
+            }
+            Value::Float(v) => {
+                state.write_u8(1);
+                state.write_u64(v.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                state.write_u8(2);
+                state.write_i32(*d);
+            }
+            Value::Bool(b) => {
+                state.write_u8(0);
+                state.write_u8(*b as u8);
+            }
+            Value::Null => state.write_u8(4),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_cross_comparison_is_numeric() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(3.5) > Value::Int(3));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+        assert_eq!(hash_of(&Value::str("abc")), hash_of(&Value::str("abc")));
+    }
+
+    #[test]
+    fn null_is_greatest_and_equal_to_itself() {
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null > Value::Int(i64::MAX));
+        assert!(Value::Null > Value::str("zzz"));
+    }
+
+    #[test]
+    fn nan_has_total_order() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(nan > Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert!(Value::str("apple") < Value::str("banana"));
+    }
+
+    #[test]
+    fn type_widths_are_positive() {
+        for dt in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Date,
+            DataType::Bool,
+        ] {
+            assert!(dt.estimated_width() > 0);
+        }
+    }
+
+    #[test]
+    fn display_round_trip_smoke() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::str("x").to_string(), "'x'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3i64).as_i64(), Some(3));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert!(Value::from("s").data_type() == Some(DataType::Str));
+        assert!(Value::Null.is_null());
+    }
+}

@@ -1,0 +1,107 @@
+//! Block and buffer accounting.
+//!
+//! The paper's cost model counts seeks, blocks read, blocks written, and CPU
+//! time (§7.1), with a 4 KB block and an 8000-block buffer by default (and a
+//! 1000-block variant for the buffer-size experiment). This module is the
+//! single source of truth for translating row counts and widths into block
+//! counts, shared by the optimizer's cost model and the executor's simulated
+//! I/O meter.
+
+/// Block/buffer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockConfig {
+    /// Bytes per block; the paper uses 4 KB.
+    pub block_bytes: usize,
+    /// Blocks available to operators; the paper uses 8000 (and 1000 for the
+    /// small-buffer experiment).
+    pub buffer_blocks: usize,
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        BlockConfig {
+            block_bytes: 4096,
+            buffer_blocks: 8000,
+        }
+    }
+}
+
+impl BlockConfig {
+    /// The paper's small-buffer configuration (§7.2 "Effect of Buffer Size").
+    pub fn small_buffer() -> Self {
+        BlockConfig {
+            buffer_blocks: 1000,
+            ..Default::default()
+        }
+    }
+
+    /// Tuples of `row_width` bytes that fit in one block (at least 1 so
+    /// pathological widths still make progress).
+    pub fn tuples_per_block(&self, row_width: usize) -> usize {
+        (self.block_bytes / row_width.max(1)).max(1)
+    }
+
+    /// Estimated blocks occupied by `rows` tuples of `row_width` bytes
+    /// (fractional row counts come from cardinality estimates).
+    pub fn blocks_for(&self, rows: f64, row_width: usize) -> f64 {
+        if rows <= 0.0 {
+            return 0.0;
+        }
+        (rows / self.tuples_per_block(row_width) as f64).ceil().max(1.0)
+    }
+
+    /// Exact block count for a concrete stored row count.
+    pub fn blocks_for_exact(&self, rows: usize, row_width: usize) -> usize {
+        if rows == 0 {
+            return 0;
+        }
+        rows.div_ceil(self.tuples_per_block(row_width))
+    }
+
+    /// Whether a result of the given size fits in the buffer — the switch
+    /// point at which hash-based operators go out-of-core (the source of the
+    /// cost "jump" the paper observes in Figure 4).
+    pub fn fits_in_buffer(&self, rows: f64, row_width: usize) -> bool {
+        self.blocks_for(rows, row_width) <= self.buffer_blocks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = BlockConfig::default();
+        assert_eq!(c.block_bytes, 4096);
+        assert_eq!(c.buffer_blocks, 8000);
+        assert_eq!(BlockConfig::small_buffer().buffer_blocks, 1000);
+    }
+
+    #[test]
+    fn tuples_per_block_floors() {
+        let c = BlockConfig::default();
+        assert_eq!(c.tuples_per_block(100), 40);
+        assert_eq!(c.tuples_per_block(5000), 1); // jumbo rows still stored
+    }
+
+    #[test]
+    fn blocks_for_rounds_up_and_saturates_at_zero() {
+        let c = BlockConfig::default();
+        assert_eq!(c.blocks_for(0.0, 100), 0.0);
+        assert_eq!(c.blocks_for(1.0, 100), 1.0);
+        assert_eq!(c.blocks_for(41.0, 100), 2.0);
+        assert_eq!(c.blocks_for_exact(81, 100), 3);
+    }
+
+    #[test]
+    fn buffer_fit_boundary() {
+        let c = BlockConfig {
+            block_bytes: 4096,
+            buffer_blocks: 10,
+        };
+        // 40 tuples/block at width 100 → 400 tuples fill the buffer.
+        assert!(c.fits_in_buffer(400.0, 100));
+        assert!(!c.fits_in_buffer(401.0, 100));
+    }
+}

@@ -1,0 +1,196 @@
+//! The database: base tables, materialized results, and pending deltas.
+//!
+//! [`Database`] is the runtime state a refresh cycle operates on: the base
+//! relations (by [`TableId`]), a store of materialized results (by name —
+//! user views, permanently materialized extras, and temporaries all live
+//! here), and helpers to apply update batches. The optimizer reads only
+//! statistics; the executor reads and mutates the stored rows.
+
+use crate::delta::{DeltaBatch, DeltaSet};
+use crate::index::IndexKind;
+use crate::table::StoredTable;
+use mvmqo_relalg::catalog::{Catalog, TableId};
+use mvmqo_relalg::schema::AttrId;
+use mvmqo_relalg::stats::RelStats;
+use std::collections::HashMap;
+
+/// In-memory database instance.
+#[derive(Debug, Default)]
+pub struct Database {
+    base: HashMap<TableId, StoredTable>,
+    mats: HashMap<String, StoredTable>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register (or replace) a base table's contents.
+    pub fn put_base(&mut self, id: TableId, table: StoredTable) {
+        self.base.insert(id, table);
+    }
+
+    pub fn base(&self, id: TableId) -> &StoredTable {
+        self.base
+            .get(&id)
+            .unwrap_or_else(|| panic!("base table {id} not loaded"))
+    }
+
+    pub fn base_mut(&mut self, id: TableId) -> &mut StoredTable {
+        self.base
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("base table {id} not loaded"))
+    }
+
+    pub fn has_base(&self, id: TableId) -> bool {
+        self.base.contains_key(&id)
+    }
+
+    /// Store a materialized result under `name`.
+    pub fn put_mat(&mut self, name: impl Into<String>, table: StoredTable) {
+        self.mats.insert(name.into(), table);
+    }
+
+    pub fn mat(&self, name: &str) -> Option<&StoredTable> {
+        self.mats.get(name)
+    }
+
+    pub fn mat_mut(&mut self, name: &str) -> Option<&mut StoredTable> {
+        self.mats.get_mut(name)
+    }
+
+    pub fn drop_mat(&mut self, name: &str) -> bool {
+        self.mats.remove(name).is_some()
+    }
+
+    pub fn mat_names(&self) -> impl Iterator<Item = &str> {
+        self.mats.keys().map(String::as_str)
+    }
+
+    /// Apply one relation's delta batch to the base table.
+    pub fn apply_base_delta(&mut self, id: TableId, delta: &DeltaBatch) {
+        self.base_mut(id).apply_delta(delta);
+    }
+
+    /// Apply every batch in a [`DeltaSet`] (used by tests that want the
+    /// post-update ground truth in one step; the maintenance executor
+    /// applies them one at a time instead, per §3.2.2).
+    pub fn apply_all(&mut self, deltas: &DeltaSet) {
+        let tables: Vec<TableId> = deltas.tables().collect();
+        for t in tables {
+            if let Some(batch) = deltas.get(t) {
+                self.apply_base_delta(t, batch);
+            }
+        }
+    }
+
+    /// Create an index on a base table.
+    pub fn create_base_index(&mut self, id: TableId, attr: AttrId, kind: IndexKind) {
+        self.base_mut(id).create_index(attr, kind);
+    }
+
+    /// Live statistics for a base table: catalog column statistics rescaled
+    /// to the actual stored row count.
+    pub fn live_stats(&self, catalog: &Catalog, id: TableId) -> RelStats {
+        let def = catalog.table(id);
+        let actual = self.base(id).len() as f64;
+        let mut stats = def.stats.clone();
+        if def.stats.rows > 0.0 && actual != def.stats.rows {
+            stats = stats.scaled(actual / def.stats.rows);
+            stats.rows = actual;
+        } else {
+            stats.rows = actual;
+        }
+        stats
+    }
+
+    /// Total stored tuples (bases + materialized results) — used by space
+    /// accounting and tests.
+    pub fn total_tuples(&self) -> usize {
+        self.base.values().map(StoredTable::len).sum::<usize>()
+            + self.mats.values().map(StoredTable::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmqo_relalg::catalog::ColumnSpec;
+    use mvmqo_relalg::schema::{Attribute, Schema};
+    use mvmqo_relalg::types::{DataType, Value};
+
+    fn setup() -> (Catalog, TableId, Database) {
+        let mut c = Catalog::new();
+        let t = c.add_table(
+            "t",
+            vec![ColumnSpec::key("k", DataType::Int)],
+            4.0,
+            &["k"],
+        );
+        let mut db = Database::new();
+        let schema = c.table(t).schema.clone();
+        db.put_base(
+            t,
+            StoredTable::with_rows(
+                schema,
+                (0..4).map(|i| vec![Value::Int(i)]).collect(),
+            ),
+        );
+        (c, t, db)
+    }
+
+    #[test]
+    fn apply_base_delta_mutates_rows() {
+        let (_, t, mut db) = setup();
+        db.apply_base_delta(
+            t,
+            &DeltaBatch::new(vec![vec![Value::Int(10)]], vec![vec![Value::Int(0)]]),
+        );
+        assert_eq!(db.base(t).len(), 4);
+        assert!(db.base(t).rows().iter().any(|r| r[0] == Value::Int(10)));
+        assert!(!db.base(t).rows().iter().any(|r| r[0] == Value::Int(0)));
+    }
+
+    #[test]
+    fn live_stats_track_actual_rowcount() {
+        let (c, t, mut db) = setup();
+        db.apply_base_delta(t, &DeltaBatch::new(vec![vec![Value::Int(99)]], vec![]));
+        let s = db.live_stats(&c, t);
+        assert_eq!(s.rows, 5.0);
+    }
+
+    #[test]
+    fn mats_are_named_and_droppable() {
+        let (_, _, mut db) = setup();
+        let schema = Schema::new(vec![Attribute {
+            id: AttrId(100),
+            name: "m.x".into(),
+            data_type: DataType::Int,
+        }]);
+        db.put_mat("temp1", StoredTable::with_rows(schema, vec![vec![Value::Int(1)]]));
+        assert_eq!(db.mat("temp1").unwrap().len(), 1);
+        assert!(db.drop_mat("temp1"));
+        assert!(db.mat("temp1").is_none());
+        assert!(!db.drop_mat("temp1"));
+    }
+
+    #[test]
+    fn apply_all_applies_every_batch() {
+        let (_, t, mut db) = setup();
+        let mut ds = DeltaSet::new();
+        ds.insert(
+            t,
+            DeltaBatch::new(vec![vec![Value::Int(7)], vec![Value::Int(8)]], vec![]),
+        );
+        db.apply_all(&ds);
+        assert_eq!(db.base(t).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not loaded")]
+    fn missing_base_panics() {
+        let db = Database::new();
+        db.base(TableId(3));
+    }
+}

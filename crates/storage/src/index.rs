@@ -1,0 +1,163 @@
+//! Secondary indices over stored relations.
+//!
+//! The paper treats the presence of an index as a physical property chosen
+//! by the optimizer alongside materialized views (§4.3, §7: "the new code
+//! implements index selection along with selection of results to
+//! materialize"). This module provides the runtime structures: hash indices
+//! for equality lookups and B-tree indices for ordered access; both map a
+//! single key attribute to row positions in the owning table.
+
+use mvmqo_relalg::schema::AttrId;
+use mvmqo_relalg::tuple::Tuple;
+use mvmqo_relalg::types::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::ops::Bound;
+
+/// The physical flavour of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Equality-only hash index.
+    Hash,
+    /// Ordered B-tree index (equality + range + provides sort order).
+    BTree,
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexKind::Hash => f.write_str("hash"),
+            IndexKind::BTree => f.write_str("btree"),
+        }
+    }
+}
+
+/// An index over one attribute of a stored relation, mapping key values to
+/// row positions.
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub attr: AttrId,
+    pub kind: IndexKind,
+    hash: HashMap<Value, Vec<u32>>,
+    tree: BTreeMap<Value, Vec<u32>>,
+}
+
+impl Index {
+    /// Build an index over `rows`, keying on tuple position `key_pos`.
+    pub fn build(attr: AttrId, kind: IndexKind, rows: &[Tuple], key_pos: usize) -> Self {
+        let mut idx = Index {
+            attr,
+            kind,
+            hash: HashMap::new(),
+            tree: BTreeMap::new(),
+        };
+        for (i, row) in rows.iter().enumerate() {
+            idx.insert(&row[key_pos], i as u32);
+        }
+        idx
+    }
+
+    fn insert(&mut self, key: &Value, pos: u32) {
+        match self.kind {
+            IndexKind::Hash => self.hash.entry(key.clone()).or_default().push(pos),
+            IndexKind::BTree => self.tree.entry(key.clone()).or_default().push(pos),
+        }
+    }
+
+    /// Row positions with key equal to `key`.
+    pub fn lookup_eq(&self, key: &Value) -> &[u32] {
+        let hit = match self.kind {
+            IndexKind::Hash => self.hash.get(key),
+            IndexKind::BTree => self.tree.get(key),
+        };
+        hit.map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Row positions with keys in `[lo, hi]` bounds (B-tree only; a hash
+    /// index answers with an empty slice, and the planner never asks it).
+    pub fn lookup_range(
+        &self,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> impl Iterator<Item = u32> + '_ {
+        let iter = match self.kind {
+            IndexKind::BTree => Some(self.tree.range::<Value, _>((lo, hi))),
+            IndexKind::Hash => None,
+        };
+        iter.into_iter()
+            .flatten()
+            .flat_map(|(_, v)| v.iter().copied())
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        match self.kind {
+            IndexKind::Hash => self.hash.len(),
+            IndexKind::BTree => self.tree.len(),
+        }
+    }
+
+    /// Total indexed entries.
+    pub fn entries(&self) -> usize {
+        match self.kind {
+            IndexKind::Hash => self.hash.values().map(Vec::len).sum(),
+            IndexKind::BTree => self.tree.values().map(Vec::len).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Tuple> {
+        vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+            vec![Value::Int(1), Value::str("c")],
+            vec![Value::Int(3), Value::str("d")],
+        ]
+    }
+
+    #[test]
+    fn hash_index_equality_lookup() {
+        let idx = Index::build(AttrId(0), IndexKind::Hash, &rows(), 0);
+        assert_eq!(idx.lookup_eq(&Value::Int(1)), &[0, 2]);
+        assert!(idx.lookup_eq(&Value::Int(9)).is_empty());
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.entries(), 4);
+    }
+
+    #[test]
+    fn btree_index_range_lookup() {
+        let idx = Index::build(AttrId(0), IndexKind::BTree, &rows(), 0);
+        let hits: Vec<u32> = idx
+            .lookup_range(
+                Bound::Included(&Value::Int(2)),
+                Bound::Included(&Value::Int(3)),
+            )
+            .collect();
+        assert_eq!(hits, vec![1, 3]);
+    }
+
+    #[test]
+    fn btree_also_answers_equality() {
+        let idx = Index::build(AttrId(0), IndexKind::BTree, &rows(), 0);
+        assert_eq!(idx.lookup_eq(&Value::Int(3)), &[3]);
+    }
+
+    #[test]
+    fn hash_index_refuses_ranges() {
+        let idx = Index::build(AttrId(0), IndexKind::Hash, &rows(), 0);
+        assert_eq!(
+            idx.lookup_range(Bound::Unbounded, Bound::Unbounded).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let idx = Index::build(AttrId(1), IndexKind::Hash, &rows(), 1);
+        assert_eq!(idx.lookup_eq(&Value::str("c")), &[2]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # mvmqo-storage
+//!
+//! In-memory storage substrate for the `mvmqo` reproduction of *Materialized
+//! View Selection and Maintenance Using Multi-Query Optimization* (SIGMOD
+//! 2001):
+//!
+//! * [`blocks`] — block/buffer accounting shared by the cost model and the
+//!   executor's simulated I/O meter (4 KB blocks, 8000-block buffer as in
+//!   §7.1 of the paper),
+//! * [`table`] — stored multiset relations with secondary indices,
+//! * [`delta`] — δ⁺/δ⁻ delta relations and per-refresh delta sets (§3),
+//! * [`index`] — hash and B-tree secondary indices (§4.3 physical
+//!   properties),
+//! * [`database`] — the runtime database: base tables + materialized
+//!   results + delta application.
+
+pub mod blocks;
+pub mod database;
+pub mod delta;
+pub mod index;
+pub mod table;
+
+pub use blocks::BlockConfig;
+pub use database::Database;
+pub use delta::{DeltaBatch, DeltaKind, DeltaSet};
+pub use index::{Index, IndexKind};
+pub use table::StoredTable;

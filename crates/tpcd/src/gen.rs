@@ -1,0 +1,237 @@
+//! Deterministic TPC-D data generator.
+//!
+//! Generates referentially consistent data matching the catalog's
+//! cardinalities and column profiles. This substitutes for the TPC-D
+//! `dbgen` tool (DESIGN.md §2): the experiments consume *statistics*, so
+//! what matters is that cardinalities, distinct counts, value ranges, and
+//! foreign-key structure match — which this generator guarantees by
+//! construction.
+
+use crate::schema::{Tpcd, DATE_HI};
+use mvmqo_relalg::catalog::TableId;
+use mvmqo_relalg::tuple::Tuple;
+use mvmqo_relalg::types::Value;
+use mvmqo_storage::database::Database;
+use mvmqo_storage::table::StoredTable;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn pad(rng: &mut StdRng, tag: &str, key: i64) -> Value {
+    // Cheap distinct-ish string payloads; width is what the cost model
+    // reads, content only needs to be deterministic.
+    Value::str(format!("{tag}{key}x{}", rng.random_range(0..997)))
+}
+
+/// Generate the full database for a TPC-D instance. Row counts follow the
+/// catalog statistics exactly; keys are dense `0..n`; every foreign key
+/// references an existing parent.
+pub fn generate_database(tpcd: &Tpcd, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let c = &tpcd.catalog;
+    let rows_of = |t: TableId| c.table(t).stats.rows as i64;
+
+    let n_region = rows_of(tpcd.t.region);
+    let n_nation = rows_of(tpcd.t.nation);
+    let n_supplier = rows_of(tpcd.t.supplier);
+    let n_customer = rows_of(tpcd.t.customer);
+    let n_part = rows_of(tpcd.t.part);
+    let n_partsupp = rows_of(tpcd.t.partsupp);
+    let n_orders = rows_of(tpcd.t.orders);
+    let n_lineitem = rows_of(tpcd.t.lineitem);
+
+    let region_rows: Vec<Tuple> = (0..n_region)
+        .map(|i| vec![Value::Int(i), Value::str(format!("REGION_{i}"))])
+        .collect();
+    db.put_base(
+        tpcd.t.region,
+        StoredTable::with_rows(c.table(tpcd.t.region).schema.clone(), region_rows),
+    );
+
+    let nation_rows: Vec<Tuple> = (0..n_nation)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i % n_region),
+                Value::str(format!("NATION_{i}")),
+            ]
+        })
+        .collect();
+    db.put_base(
+        tpcd.t.nation,
+        StoredTable::with_rows(c.table(tpcd.t.nation).schema.clone(), nation_rows),
+    );
+
+    let supplier_rows: Vec<Tuple> = (0..n_supplier)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(rng.random_range(0..n_nation)),
+                Value::Float(rng.random_range(-1_000.0..10_000.0)),
+                pad(&mut rng, "S", i),
+                pad(&mut rng, "SA", i),
+                pad(&mut rng, "SC", i),
+            ]
+        })
+        .collect();
+    db.put_base(
+        tpcd.t.supplier,
+        StoredTable::with_rows(c.table(tpcd.t.supplier).schema.clone(), supplier_rows),
+    );
+
+    let customer_rows: Vec<Tuple> = (0..n_customer)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(rng.random_range(0..n_nation)),
+                Value::Int(rng.random_range(0..5)),
+                Value::Float(rng.random_range(-1_000.0..10_000.0)),
+                pad(&mut rng, "C", i),
+                pad(&mut rng, "CA", i),
+                pad(&mut rng, "CC", i),
+            ]
+        })
+        .collect();
+    db.put_base(
+        tpcd.t.customer,
+        StoredTable::with_rows(c.table(tpcd.t.customer).schema.clone(), customer_rows),
+    );
+
+    let part_rows: Vec<Tuple> = (0..n_part)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(rng.random_range(1..=50)),
+                Value::Int(rng.random_range(0..25)),
+                Value::Float(rng.random_range(900.0..2_000.0)),
+                pad(&mut rng, "P", i),
+                Value::str(format!("TYPE_{}", rng.random_range(0..150))),
+                pad(&mut rng, "PC", i),
+            ]
+        })
+        .collect();
+    db.put_base(
+        tpcd.t.part,
+        StoredTable::with_rows(c.table(tpcd.t.part).schema.clone(), part_rows),
+    );
+
+    let partsupp_rows: Vec<Tuple> = (0..n_partsupp)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i % n_part), // even coverage of parts
+                Value::Int(rng.random_range(0..n_supplier)),
+                Value::Int(rng.random_range(0..10_000)),
+                Value::Float(rng.random_range(1.0..1_000.0)),
+                pad(&mut rng, "PS", i),
+            ]
+        })
+        .collect();
+    db.put_base(
+        tpcd.t.partsupp,
+        StoredTable::with_rows(c.table(tpcd.t.partsupp).schema.clone(), partsupp_rows),
+    );
+
+    let orders_rows: Vec<Tuple> = (0..n_orders)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(rng.random_range(0..n_customer)),
+                Value::Date(rng.random_range(0..DATE_HI as i32)),
+                Value::Int(rng.random_range(0..5)),
+                Value::Float(rng.random_range(900.0..500_000.0)),
+                Value::Int(rng.random_range(0..3)),
+                pad(&mut rng, "O", i),
+            ]
+        })
+        .collect();
+    db.put_base(
+        tpcd.t.orders,
+        StoredTable::with_rows(c.table(tpcd.t.orders).schema.clone(), orders_rows),
+    );
+
+    let lineitem_rows: Vec<Tuple> = (0..n_lineitem)
+        .map(|i| {
+            let shipdate = rng.random_range(0..DATE_HI as i32 - 60);
+            vec![
+                Value::Int(i),
+                Value::Int(rng.random_range(0..n_orders)),
+                Value::Int(rng.random_range(0..n_part)),
+                Value::Int(rng.random_range(0..n_supplier)),
+                Value::Int(rng.random_range(1..=50)),
+                Value::Float(rng.random_range(900.0..100_000.0)),
+                Value::Float(f64::from(rng.random_range(0..=10)) / 100.0),
+                Value::Date(shipdate),
+                Value::Date(shipdate + rng.random_range(1..60)),
+                Value::Int(rng.random_range(0..3)),
+                Value::str(format!("MODE_{}", rng.random_range(0..7))),
+                pad(&mut rng, "LC", i),
+            ]
+        })
+        .collect();
+    db.put_base(
+        tpcd.t.lineitem,
+        StoredTable::with_rows(c.table(tpcd.t.lineitem).schema.clone(), lineitem_rows),
+    );
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::tpcd_catalog;
+
+    #[test]
+    fn generated_rowcounts_match_catalog() {
+        let t = tpcd_catalog(0.001);
+        let db = generate_database(&t, 1);
+        for id in t.t.all() {
+            assert_eq!(
+                db.base(id).len() as f64,
+                t.catalog.table(id).stats.rows,
+                "table {}",
+                t.catalog.table(id).name
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t = tpcd_catalog(0.001);
+        let d1 = generate_database(&t, 7);
+        let d2 = generate_database(&t, 7);
+        assert_eq!(
+            d1.base(t.t.lineitem).rows()[..10],
+            d2.base(t.t.lineitem).rows()[..10]
+        );
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_parents() {
+        let t = tpcd_catalog(0.001);
+        let db = generate_database(&t, 3);
+        let n_orders = db.base(t.t.orders).len() as i64;
+        let ok_pos = t
+            .catalog
+            .table(t.t.lineitem)
+            .schema
+            .position_of(t.attr(t.t.lineitem, "l_orderkey"))
+            .unwrap();
+        for row in db.base(t.t.lineitem).rows() {
+            let k = row[ok_pos].as_i64().unwrap();
+            assert!(k >= 0 && k < n_orders);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t = tpcd_catalog(0.001);
+        let d1 = generate_database(&t, 1);
+        let d2 = generate_database(&t, 2);
+        assert_ne!(
+            d1.base(t.t.lineitem).rows()[..10],
+            d2.base(t.t.lineitem).rows()[..10]
+        );
+    }
+}

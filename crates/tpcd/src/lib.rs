@@ -1,0 +1,24 @@
+//! # mvmqo-tpcd
+//!
+//! TPC-D substrate for the `mvmqo` reproduction (§7.1 of the paper):
+//!
+//! * [`schema`] — the eight-relation TPC-D catalog at a configurable scale
+//!   factor (the paper uses 0.1 ≈ 100 MB), with foreign keys and
+//!   primary-key indices;
+//! * [`gen`] — a deterministic, referentially consistent data generator
+//!   (substitutes for `dbgen`; see DESIGN.md §2);
+//! * [`updates`] — the paper's update pattern: x% inserts + x/2% deletes
+//!   per relation, fresh keys, FKs referencing pre-update parents;
+//! * [`workloads`] — the benchmark view sets for Figures 3, 4, and 5.
+
+pub mod gen;
+pub mod schema;
+pub mod updates;
+pub mod workloads;
+
+pub use gen::generate_database;
+pub use schema::{cardinalities, tpcd_catalog, Tables, Tpcd};
+pub use updates::generate_updates;
+pub use workloads::{
+    five_agg_views, five_join_views, single_agg_view, single_join_view, ten_views,
+};

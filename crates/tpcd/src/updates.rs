@@ -1,0 +1,226 @@
+//! Update-batch generator implementing the paper's workload (§7.1):
+//! "a 10 percent update to a relation consists of inserting 10% as many
+//! tuples as currently in the relation, and deleting 5% of the current
+//! tuples" — twice as many inserts as deletes, modelling a growing
+//! database; all relations are updated by the same percentage.
+//!
+//! Inserted rows use fresh primary keys and reference *pre-update* parents,
+//! which is exactly the precondition under which the §5.3 foreign-key
+//! pruning is an equivalence rather than a heuristic.
+
+use crate::schema::{Tpcd, DATE_HI};
+use mvmqo_relalg::catalog::TableId;
+use mvmqo_relalg::tuple::Tuple;
+use mvmqo_relalg::types::Value;
+use mvmqo_storage::database::Database;
+use mvmqo_storage::delta::{DeltaBatch, DeltaSet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generate one refresh cycle's deltas at `percent`% for every relation the
+/// instance contains (tables absent from `db` are skipped).
+pub fn generate_updates(tpcd: &Tpcd, db: &Database, percent: f64, seed: u64) -> DeltaSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = DeltaSet::new();
+    for table in tpcd.t.all() {
+        if !db.has_base(table) {
+            continue;
+        }
+        let batch = table_batch(tpcd, db, table, percent, &mut rng);
+        ds.insert(table, batch);
+    }
+    ds
+}
+
+fn table_batch(
+    tpcd: &Tpcd,
+    db: &Database,
+    table: TableId,
+    percent: f64,
+    rng: &mut StdRng,
+) -> DeltaBatch {
+    let stored = db.base(table);
+    let rows = stored.len();
+    let ins_n = ((rows as f64) * percent / 100.0).round() as usize;
+    let del_n = ((rows as f64) * percent / 200.0).round() as usize;
+    let next_key = stored
+        .rows()
+        .iter()
+        .map(|r| r[0].as_i64().unwrap_or(0))
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
+    let inserts: Vec<Tuple> = (0..ins_n)
+        .map(|i| fresh_row(tpcd, db, table, next_key + i as i64, rng))
+        .collect();
+    let mut deletes: Vec<Tuple> = Vec::with_capacity(del_n);
+    if rows > 0 {
+        let mut picked = std::collections::HashSet::new();
+        while picked.len() < del_n.min(rows) {
+            picked.insert(rng.random_range(0..rows));
+        }
+        deletes.extend(picked.into_iter().map(|i| stored.rows()[i].clone()));
+    }
+    DeltaBatch::new(inserts, deletes)
+}
+
+fn parent_key(db: &Database, table: TableId, rng: &mut StdRng) -> i64 {
+    let n = db.base(table).len() as i64;
+    if n == 0 {
+        0
+    } else {
+        rng.random_range(0..n)
+    }
+}
+
+fn fresh_row(tpcd: &Tpcd, db: &Database, table: TableId, key: i64, rng: &mut StdRng) -> Tuple {
+    let t = &tpcd.t;
+    if table == t.region {
+        vec![Value::Int(key), Value::str(format!("REGION_{key}"))]
+    } else if table == t.nation {
+        vec![
+            Value::Int(key),
+            Value::Int(parent_key(db, t.region, rng)),
+            Value::str(format!("NATION_{key}")),
+        ]
+    } else if table == t.supplier {
+        vec![
+            Value::Int(key),
+            Value::Int(parent_key(db, t.nation, rng)),
+            Value::Float(rng.random_range(-1_000.0..10_000.0)),
+            Value::str(format!("S{key}")),
+            Value::str(format!("SA{key}")),
+            Value::str(format!("SC{key}")),
+        ]
+    } else if table == t.customer {
+        vec![
+            Value::Int(key),
+            Value::Int(parent_key(db, t.nation, rng)),
+            Value::Int(rng.random_range(0..5)),
+            Value::Float(rng.random_range(-1_000.0..10_000.0)),
+            Value::str(format!("C{key}")),
+            Value::str(format!("CA{key}")),
+            Value::str(format!("CC{key}")),
+        ]
+    } else if table == t.part {
+        vec![
+            Value::Int(key),
+            Value::Int(rng.random_range(1..=50)),
+            Value::Int(rng.random_range(0..25)),
+            Value::Float(rng.random_range(900.0..2_000.0)),
+            Value::str(format!("P{key}")),
+            Value::str(format!("TYPE_{}", rng.random_range(0..150))),
+            Value::str(format!("PC{key}")),
+        ]
+    } else if table == t.partsupp {
+        vec![
+            Value::Int(key),
+            Value::Int(parent_key(db, t.part, rng)),
+            Value::Int(parent_key(db, t.supplier, rng)),
+            Value::Int(rng.random_range(0..10_000)),
+            Value::Float(rng.random_range(1.0..1_000.0)),
+            Value::str(format!("PS{key}")),
+        ]
+    } else if table == t.orders {
+        vec![
+            Value::Int(key),
+            Value::Int(parent_key(db, t.customer, rng)),
+            Value::Date(rng.random_range(0..DATE_HI as i32)),
+            Value::Int(rng.random_range(0..5)),
+            Value::Float(rng.random_range(900.0..500_000.0)),
+            Value::Int(rng.random_range(0..3)),
+            Value::str(format!("O{key}")),
+        ]
+    } else if table == t.lineitem {
+        let shipdate = rng.random_range(0..DATE_HI as i32 - 60);
+        vec![
+            Value::Int(key),
+            Value::Int(parent_key(db, t.orders, rng)),
+            Value::Int(parent_key(db, t.part, rng)),
+            Value::Int(parent_key(db, t.supplier, rng)),
+            Value::Int(rng.random_range(1..=50)),
+            Value::Float(rng.random_range(900.0..100_000.0)),
+            Value::Float(f64::from(rng.random_range(0..=10)) / 100.0),
+            Value::Date(shipdate),
+            Value::Date(shipdate + rng.random_range(1..60)),
+            Value::Int(rng.random_range(0..3)),
+            Value::str(format!("MODE_{}", rng.random_range(0..7))),
+            Value::str(format!("LC{key}")),
+        ]
+    } else {
+        panic!("unknown table {table}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_database;
+    use crate::schema::tpcd_catalog;
+
+    #[test]
+    fn batch_sizes_follow_two_to_one_rule() {
+        let t = tpcd_catalog(0.001);
+        let db = generate_database(&t, 1);
+        let ds = generate_updates(&t, &db, 10.0, 2);
+        let li = ds.get(t.t.lineitem).unwrap();
+        let rows = db.base(t.t.lineitem).len() as f64;
+        assert_eq!(li.inserts.len(), (rows * 0.10).round() as usize);
+        assert_eq!(li.deletes.len(), (rows * 0.05).round() as usize);
+    }
+
+    #[test]
+    fn inserted_keys_are_fresh() {
+        let t = tpcd_catalog(0.001);
+        let db = generate_database(&t, 1);
+        let ds = generate_updates(&t, &db, 10.0, 2);
+        let existing: std::collections::HashSet<i64> = db
+            .base(t.t.orders)
+            .rows()
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        for row in &ds.get(t.t.orders).unwrap().inserts {
+            assert!(!existing.contains(&row[0].as_i64().unwrap()));
+        }
+    }
+
+    #[test]
+    fn inserted_fks_reference_pre_update_parents() {
+        let t = tpcd_catalog(0.001);
+        let db = generate_database(&t, 1);
+        let ds = generate_updates(&t, &db, 20.0, 3);
+        let n_orders = db.base(t.t.orders).len() as i64;
+        let pos = t
+            .catalog
+            .table(t.t.lineitem)
+            .schema
+            .position_of(t.attr(t.t.lineitem, "l_orderkey"))
+            .unwrap();
+        for row in &ds.get(t.t.lineitem).unwrap().inserts {
+            let k = row[pos].as_i64().unwrap();
+            assert!(k < n_orders, "new lineitem references a new order");
+        }
+    }
+
+    #[test]
+    fn deletes_are_distinct_existing_rows() {
+        let t = tpcd_catalog(0.001);
+        let db = generate_database(&t, 1);
+        let ds = generate_updates(&t, &db, 30.0, 4);
+        let batch = ds.get(t.t.customer).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for row in &batch.deletes {
+            assert!(seen.insert(row.clone()), "duplicate delete row");
+            assert!(db.base(t.t.customer).rows().contains(row));
+        }
+    }
+
+    #[test]
+    fn zero_percent_yields_empty_set() {
+        let t = tpcd_catalog(0.001);
+        let db = generate_database(&t, 1);
+        let ds = generate_updates(&t, &db, 0.0, 5);
+        assert!(ds.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end integration tests: optimizer-chosen maintenance plans must
+//! produce exactly the same view contents as recomputation from the
+//! post-update database, for both Greedy and NoGreedy, across update rates
+//! and view shapes.
+
+use mvmqo_core::opt::{GreedyOptions, Mode};
+use mvmqo_integration_tests::{
+    generate_deltas, optimize_execute_verify, small_world, SmallWorld,
+};
+use mvmqo_relalg::agg::{AggFunc, AggSpec};
+use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
+use mvmqo_relalg::logical::{LogicalExpr, ViewDef};
+
+fn join_view(world: &SmallWorld, name: &str) -> ViewDef {
+    let c = &world.catalog;
+    let a_id = c.table(world.a).attr("id");
+    let b_aid = c.table(world.b).attr("a_id");
+    let b_id = c.table(world.b).attr("id");
+    let c_bid = c.table(world.c).attr("b_id");
+    let expr = LogicalExpr::Join {
+        left: LogicalExpr::join(
+            LogicalExpr::scan(world.a),
+            LogicalExpr::scan(world.b),
+            Predicate::from_expr(ScalarExpr::col_eq_col(a_id, b_aid)),
+        ),
+        right: LogicalExpr::scan(world.c),
+        predicate: Predicate::from_expr(ScalarExpr::col_eq_col(b_id, c_bid)),
+    };
+    ViewDef::new(name, expr.into())
+}
+
+fn selective_join_view(world: &SmallWorld, name: &str, cutoff: i64) -> ViewDef {
+    let c = &world.catalog;
+    let a_x = c.table(world.a).attr("x");
+    let base = join_view(world, name).expr;
+    ViewDef::new(
+        name,
+        LogicalExpr::Select {
+            input: base,
+            predicate: Predicate::from_expr(ScalarExpr::col_cmp_lit(a_x, CmpOp::Lt, cutoff)),
+        }
+        .into(),
+    )
+}
+
+fn agg_view(world: &mut SmallWorld, name: &str) -> ViewDef {
+    let a_x = world.catalog.table(world.a).attr("x");
+    let c_v = world.catalog.table(world.c).attr("v");
+    let sum_out = world.catalog.fresh_attr();
+    let cnt_out = world.catalog.fresh_attr();
+    let base = join_view(world, name).expr;
+    ViewDef::new(
+        name,
+        LogicalExpr::Aggregate {
+            input: base,
+            group_by: vec![a_x],
+            aggs: vec![
+                AggSpec::new(AggFunc::Sum, ScalarExpr::Col(c_v), sum_out),
+                AggSpec::new(AggFunc::Count, ScalarExpr::Col(c_v), cnt_out),
+            ],
+        }
+        .into(),
+    )
+}
+
+#[test]
+fn single_join_view_greedy_maintains_correctly() {
+    let mut world = small_world(60);
+    let views = vec![join_view(&world, "v_join")];
+    let deltas = generate_deltas(&world, 10.0, 7);
+    let (report, exec) =
+        optimize_execute_verify(&mut world, views, &deltas, GreedyOptions::default());
+    assert!(report.total_cost.is_finite());
+    assert!(exec.maintenance_seconds >= 0.0);
+}
+
+#[test]
+fn single_join_view_nogreedy_maintains_correctly() {
+    let mut world = small_world(60);
+    let views = vec![join_view(&world, "v_join")];
+    let deltas = generate_deltas(&world, 10.0, 8);
+    let options = GreedyOptions {
+        mode: Mode::NoGreedy,
+        ..Default::default()
+    };
+    optimize_execute_verify(&mut world, views, &deltas, options);
+}
+
+#[test]
+fn aggregate_view_maintains_correctly() {
+    let mut world = small_world(50);
+    let views = vec![agg_view(&mut world, "v_agg")];
+    let deltas = generate_deltas(&world, 10.0, 9);
+    optimize_execute_verify(&mut world, views, &deltas, GreedyOptions::default());
+}
+
+#[test]
+fn multiple_shared_views_maintain_correctly() {
+    let mut world = small_world(50);
+    let v1 = join_view(&world, "v_all");
+    let v2 = selective_join_view(&world, "v_sel", 5);
+    let v3 = agg_view(&mut world, "v_agg");
+    let deltas = generate_deltas(&world, 5.0, 10);
+    let (report, _) = optimize_execute_verify(
+        &mut world,
+        vec![v1, v2, v3],
+        &deltas,
+        GreedyOptions::default(),
+    );
+    assert!(report.dag_eq_nodes > 8);
+}
+
+#[test]
+fn high_update_rate_still_correct() {
+    let mut world = small_world(40);
+    let views = vec![join_view(&world, "v_join")];
+    let deltas = generate_deltas(&world, 60.0, 11);
+    optimize_execute_verify(&mut world, views, &deltas, GreedyOptions::default());
+}
+
+#[test]
+fn tiny_update_rate_still_correct() {
+    let mut world = small_world(80);
+    let views = vec![join_view(&world, "v_join")];
+    let deltas = generate_deltas(&world, 1.0, 12);
+    optimize_execute_verify(&mut world, views, &deltas, GreedyOptions::default());
+}
+
+#[test]
+fn diff_candidates_enabled_still_correct() {
+    let mut world = small_world(50);
+    let v1 = join_view(&world, "v_all");
+    let v2 = selective_join_view(&world, "v_sel", 8);
+    let deltas = generate_deltas(&world, 10.0, 13);
+    let options = GreedyOptions {
+        diff_candidates: true,
+        ..Default::default()
+    };
+    optimize_execute_verify(&mut world, vec![v1, v2], &deltas, options);
+}
+
+#[test]
+fn greedy_estimate_never_exceeds_nogreedy() {
+    for pct in [1.0, 10.0, 40.0] {
+        let mut world = small_world(50);
+        let v1 = join_view(&world, "v_all");
+        let v2 = selective_join_view(&world, "v_sel", 5);
+        let deltas = generate_deltas(&world, pct, 21);
+        let (report, _) = optimize_execute_verify(
+            &mut world,
+            vec![v1, v2],
+            &deltas,
+            GreedyOptions::default(),
+        );
+        assert!(
+            report.total_cost <= report.nogreedy_cost + 1e-6,
+            "at {pct}%: greedy {} > nogreedy {}",
+            report.total_cost,
+            report.nogreedy_cost
+        );
+    }
+}
