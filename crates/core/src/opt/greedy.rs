@@ -7,7 +7,7 @@
 //! results, differential results, and indices (on base tables and on
 //! materialized results).
 //!
-//! Two optimizations from [RSSB00], §6.2:
+//! Two optimizations from \[RSSB00\], §6.2:
 //!
 //! 1. **Incremental cost update** — benefit evaluation *trials* the
 //!    candidate in the cost engine, which recomputes only ancestors' memo
@@ -45,7 +45,7 @@ pub enum Mode {
     Greedy,
     /// Baseline: plain Volcano extended to choose between recomputation and
     /// incremental maintenance per view (the class containing Vista
-    /// [Vis98]) — no extra materializations, no extra indices.
+    /// \[Vis98\]) — no extra materializations, no extra indices.
     NoGreedy,
 }
 

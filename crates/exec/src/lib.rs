@@ -11,7 +11,7 @@
 //!   merge with hidden support state;
 //! * [`run`] — drives a [`mvmqo_core::plan::Program`] through one refresh
 //!   cycle with the one-relation-one-kind-at-a-time semantics of §3.2.2;
-//! * [`reference`] — a naive ground-truth evaluator used to verify that
+//! * [`mod@reference`] — a naive ground-truth evaluator used to verify that
 //!   incremental maintenance produces exactly the recomputed result;
 //! * [`meter`] — simulated I/O/CPU accounting in the same units as the
 //!   optimizer's cost model, so executed and estimated costs are

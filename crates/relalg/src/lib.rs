@@ -8,7 +8,7 @@
 //! about data *logically*:
 //!
 //! * [`types`] — scalar values with a total order (multiset keys),
-//! * [`tuple`] — rows and bag (multiset) helpers,
+//! * [`mod@tuple`] — rows and bag (multiset) helpers,
 //! * [`schema`] — globally-unique attribute identities and schemas,
 //! * [`expr`] — scalar expressions and canonical conjunctive predicates,
 //! * [`agg`] — aggregate functions and incremental accumulators,

@@ -7,6 +7,7 @@
 //! materialized result is just another relation the optimizer may scan or
 //! probe).
 
+use crate::blocks::BlockConfig;
 use crate::delta::DeltaBatch;
 use crate::index::{Index, IndexKind};
 use mvmqo_relalg::schema::{AttrId, Schema};
@@ -100,6 +101,33 @@ impl StoredTable {
         &self.rows[pos as usize]
     }
 
+    /// Estimated bytes per stored tuple (the schema's catalog-level width;
+    /// the cost model works from widths, not actual payloads — §7.1).
+    pub fn row_width(&self) -> usize {
+        self.schema.row_width()
+    }
+
+    /// Estimated total bytes occupied by the relation.
+    pub fn bytes(&self) -> usize {
+        self.len() * self.row_width()
+    }
+
+    /// Blocks this relation occupies under `config` (§7.1 accounting: 4 KB
+    /// blocks by default). This is the stored-side counterpart of the cost
+    /// model's estimate, so the executor's simulated I/O meter and the
+    /// optimizer charge the same quantity for a full scan.
+    pub fn blocks(&self, config: &BlockConfig) -> usize {
+        config.blocks_for_exact(self.len(), self.row_width())
+    }
+
+    /// Whether the whole relation fits in `config`'s buffer — the switch
+    /// point at which hash operators over this table go out-of-core.
+    /// Delegates to [`BlockConfig::fits_in_buffer`] so the stored-side
+    /// check and the optimizer's estimate share one definition.
+    pub fn fits_in_buffer(&self, config: &BlockConfig) -> bool {
+        config.fits_in_buffer(self.len() as f64, self.row_width())
+    }
+
     fn rebuild_indices(&mut self) {
         // Rebuilding keeps runtime structures simple; the *cost model*
         // charges incremental index maintenance analytically (see
@@ -122,7 +150,7 @@ impl StoredTable {
 mod tests {
     use super::*;
     use mvmqo_relalg::schema::Attribute;
-    use mvmqo_relalg::tuple::bag_eq;
+    use mvmqo_relalg::tuple::{bag_counts, bag_eq};
     use mvmqo_relalg::types::{DataType, Value};
 
     fn schema() -> Schema {
@@ -195,5 +223,72 @@ mod tests {
     fn indexing_unknown_attr_panics() {
         let mut tab = StoredTable::new(schema());
         tab.create_index(AttrId(42), IndexKind::Hash);
+    }
+
+    #[test]
+    fn insert_only_delta_appends_duplicates() {
+        let mut tab = StoredTable::with_rows(schema(), vec![t(1, 1)]);
+        tab.apply_delta(&DeltaBatch::new(vec![t(1, 1), t(1, 1)], vec![]));
+        assert_eq!(tab.len(), 3);
+        assert_eq!(bag_counts(tab.rows()).get(t(1, 1).as_slice()), Some(&3));
+    }
+
+    #[test]
+    fn delete_removes_one_occurrence_per_listed_tuple() {
+        let mut tab = StoredTable::with_rows(schema(), vec![t(1, 1), t(1, 1), t(1, 1)]);
+        tab.apply_delta(&DeltaBatch::new(vec![], vec![t(1, 1)]));
+        assert_eq!(tab.len(), 2);
+    }
+
+    #[test]
+    fn index_stays_consistent_across_delta_and_replace() {
+        let mut tab = StoredTable::with_rows(schema(), vec![t(1, 10), t(2, 20), t(2, 21)]);
+        tab.create_index(AttrId(0), IndexKind::BTree);
+        tab.apply_delta(&DeltaBatch::new(vec![t(3, 30)], vec![t(2, 20)]));
+        // Every key's positions must dereference to tuples with that key,
+        // and the entry count must equal the row count.
+        let idx = tab.index_on(AttrId(0)).unwrap();
+        assert_eq!(idx.entries(), tab.len());
+        for k in [1i64, 2, 3] {
+            for &p in idx.lookup_eq(&Value::Int(k)) {
+                assert_eq!(tab.row(p)[0], Value::Int(k));
+            }
+        }
+        assert_eq!(idx.lookup_eq(&Value::Int(2)).len(), 1);
+    }
+
+    #[test]
+    fn block_accounting_matches_block_config() {
+        // Two Int columns → 16-byte rows → 256 tuples per 4 KB block.
+        let cfg = BlockConfig::default();
+        let tab = StoredTable::new(schema());
+        assert_eq!(tab.row_width(), 16);
+        assert_eq!(tab.blocks(&cfg), 0);
+        assert_eq!(tab.bytes(), 0);
+
+        let rows: Vec<Tuple> = (0..257).map(|i| t(i, i)).collect();
+        let tab = StoredTable::with_rows(schema(), rows);
+        assert_eq!(tab.bytes(), 257 * 16);
+        assert_eq!(tab.blocks(&cfg), 2); // 256 fill one block, 1 spills
+        assert_eq!(
+            tab.blocks(&cfg),
+            cfg.blocks_for_exact(tab.len(), tab.row_width())
+        );
+    }
+
+    #[test]
+    fn block_accounting_tracks_deltas() {
+        let cfg = BlockConfig {
+            block_bytes: 64, // 4 tuples per 16-byte-row block
+            buffer_blocks: 2,
+        };
+        let mut tab = StoredTable::with_rows(schema(), (0..8).map(|i| t(i, i)).collect());
+        assert_eq!(tab.blocks(&cfg), 2);
+        assert!(tab.fits_in_buffer(&cfg));
+        tab.apply_delta(&DeltaBatch::new(vec![t(8, 8)], vec![]));
+        assert_eq!(tab.blocks(&cfg), 3);
+        assert!(!tab.fits_in_buffer(&cfg));
+        tab.apply_delta(&DeltaBatch::new(vec![], vec![t(8, 8)]));
+        assert_eq!(tab.blocks(&cfg), 2);
     }
 }

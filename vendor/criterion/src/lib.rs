@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset the `mvmqo-bench` bench targets use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`, `finish`),
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's full statistical
+//! machinery it does plain wall-clock sampling — a warm-up iteration, then
+//! up to `sample_size` timed iterations capped by a per-benchmark time
+//! budget — and prints min/median/mean per benchmark. Good enough to
+//! compare optimizer configurations locally; swap in real criterion for
+//! publication-grade numbers.
+//!
+//! Command-line behaviour mirrors what `cargo bench`/`cargo test` pass to
+//! a `harness = false` target: `--test` runs each benchmark once (smoke
+//! mode), a bare positional argument filters benchmarks by substring, and
+//! all other flags are accepted and ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget; sampling stops early once exceeded.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure this `Criterion` from command-line args (compatibility
+    /// shim; `Default` already does so).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let n = self.default_sample_size;
+        self.run_one(&id, n, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: if self.test_mode { 1 } else { sample_size },
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{id}: ok (smoke)");
+            return;
+        }
+        let s = &mut b.samples;
+        if s.is_empty() {
+            println!("{id}: no samples");
+            return;
+        }
+        s.sort();
+        let min = s[0];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<Duration>() / s.len() as u32;
+        println!(
+            "{id}: min {min:?}  median {median:?}  mean {mean:?}  ({} samples)",
+            s.len()
+        );
+    }
+}
+
+/// A named group of benchmarks (stand-in for `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&id, n, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`iter`](Bencher::iter) times the
+/// routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (untimed).
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// Stand-in for `criterion_group!`: defines a function running each listed
+/// benchmark against a default-configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Stand-in for `criterion_main!`: a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: 5,
+        };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 5);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            default_sample_size: 3,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        // test_mode: warm-up + 1 timed iteration.
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match_me".into()),
+            test_mode: true,
+            default_sample_size: 3,
+        };
+        let mut ran = 0;
+        c.bench_function("other", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 0);
+        c.bench_function("match_me_too", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+}
