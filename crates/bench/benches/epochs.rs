@@ -1,0 +1,94 @@
+//! Epoch-throughput benchmark: the warehouse engine's persistent epochs
+//! against the one-shot optimize+execute path the seed pipeline used.
+//!
+//! The persistent engine plans once (re-planning only on drift) and reuses
+//! materializations and indices across epochs; the one-shot baseline pays
+//! optimization plus full setup every cycle. Wall-clock per epoch is the
+//! metric — the warehouse's serving cadence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvmqo_core::api::optimize;
+use mvmqo_core::api::MaintenanceProblem;
+use mvmqo_core::update::UpdateModel;
+use mvmqo_exec::{execute_program, index_plan_from_report};
+use mvmqo_tpcd::{epoch_updates, five_join_views, generate_database, tpcd_catalog, DriverProfile};
+use mvmqo_warehouse::{ReoptPolicy, Warehouse};
+use std::hint::black_box;
+
+const SF: f64 = 0.001;
+const PCT: f64 = 5.0;
+
+fn bench_epochs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("epochs");
+    g.sample_size(10);
+
+    // Persistent warehouse: one long-lived engine, one epoch per iteration.
+    g.bench_function("epoch_persistent_5pct", |b| {
+        let tpcd = tpcd_catalog(SF);
+        let db = generate_database(&tpcd, 5);
+        let mut wh = Warehouse::new(tpcd_catalog(SF).catalog, db).with_policy(ReoptPolicy {
+            delta_fraction: 0.5,
+            cost_ratio: 1e12,
+        });
+        for v in five_join_views(&tpcd) {
+            wh.register_view(v).unwrap();
+        }
+        let mut epoch = 0u64;
+        b.iter(|| {
+            let deltas = epoch_updates(
+                &tpcd,
+                wh.database(),
+                DriverProfile::Steady { percent: PCT },
+                epoch,
+                9,
+            )
+            .unwrap();
+            epoch += 1;
+            let tables: Vec<_> = deltas.tables().collect();
+            for t in tables {
+                wh.ingest(t, deltas.get(t).unwrap().clone()).unwrap();
+            }
+            black_box(wh.run_epoch().unwrap())
+        })
+    });
+
+    // One-shot baseline: the same evolving database, but re-optimizing and
+    // rebuilding every materialization every epoch (what the pre-warehouse
+    // pipeline had to do).
+    g.bench_function("epoch_oneshot_5pct", |b| {
+        let mut tpcd = tpcd_catalog(SF);
+        let mut db = generate_database(&tpcd, 5);
+        let views = five_join_views(&tpcd);
+        let mut epoch = 0u64;
+        b.iter(|| {
+            let deltas =
+                epoch_updates(&tpcd, &db, DriverProfile::Steady { percent: PCT }, epoch, 9)
+                    .unwrap();
+            epoch += 1;
+            let updates = UpdateModel::new(deltas.tables().map(|t| {
+                let bch = deltas.get(t).unwrap();
+                (t, bch.inserts.len() as f64, bch.deletes.len() as f64)
+            }));
+            let problem =
+                MaintenanceProblem::new(views.clone(), updates).with_pk_indices(&tpcd.catalog);
+            let initial_indices = problem.initial_indices.clone();
+            let report = optimize(&mut tpcd.catalog, &problem);
+            let (dag, _) = mvmqo_core::api::build_dag(&mut tpcd.catalog, &views);
+            let index_plan = index_plan_from_report(&initial_indices, &report);
+            black_box(execute_program(
+                &dag,
+                &tpcd.catalog,
+                problem.cost_model,
+                &mut db,
+                &deltas,
+                &report.program,
+                &index_plan,
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

@@ -23,8 +23,7 @@ fn bench_opt_time(c: &mut Criterion) {
                 let tables = referenced_tables(&views);
                 let updates =
                     UpdateModel::percentage(tables, pct, |id| t.catalog.table(id).stats.rows);
-                let problem =
-                    MaintenanceProblem::new(views, updates).with_pk_indices(&t.catalog);
+                let problem = MaintenanceProblem::new(views, updates).with_pk_indices(&t.catalog);
                 black_box(optimize(&mut t.catalog, &problem))
             })
         });

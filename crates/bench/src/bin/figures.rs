@@ -10,8 +10,7 @@
 //! ("Plan Cost (sec)") for NoGreedy vs Greedy across update percentages.
 
 use mvmqo_bench::{
-    format_series, run_point, run_series, temp_vs_perm, ExperimentConfig, Workload,
-    PAPER_PERCENTS,
+    format_series, run_point, run_series, temp_vs_perm, ExperimentConfig, Workload, PAPER_PERCENTS,
 };
 use mvmqo_core::cost::CostModel;
 use mvmqo_core::opt::GreedyOptions;
@@ -65,10 +64,7 @@ fn main() {
             "{}",
             format_series("Figure 5(b): ten views, no initial indices", &s)
         );
-        let total_indices: usize = s
-            .iter()
-            .map(|p| p.greedy_report.chosen_indices.len())
-            .sum();
+        let total_indices: usize = s.iter().map(|p| p.greedy_report.chosen_indices.len()).sum();
         println!("   (indices selected by Greedy across the sweep: {total_indices})");
     }
     if all || section == "opt-time" {

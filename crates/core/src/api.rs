@@ -113,9 +113,26 @@ pub fn build_dag(catalog: &mut Catalog, views: &[ViewDef]) -> (Dag, SubsumptionR
     (dag, report)
 }
 
-/// Run the full pipeline: DAG construction → subsumption → differential
-/// costing → greedy selection → program extraction.
-pub fn optimize(catalog: &mut Catalog, problem: &MaintenanceProblem) -> OptimizerReport {
+/// A planned maintenance configuration: the optimizer report *plus* the DAG
+/// it was planned against.
+///
+/// The executable [`Program`] refers to DAG node ids, so a caller that wants
+/// to execute (rather than just inspect) the plan needs the matching DAG.
+/// The one-shot pipeline used to rebuild it with [`build_dag`] and rely on
+/// deterministic node numbering; a long-lived engine that re-optimizes as
+/// views register/drop and statistics drift keeps the pair together.
+#[derive(Debug)]
+pub struct PlannedMaintenance {
+    pub dag: Dag,
+    pub report: OptimizerReport,
+}
+
+/// Run the full pipeline and keep the DAG: DAG construction → subsumption →
+/// differential costing → greedy selection → program extraction.
+///
+/// Re-entrant: may be called repeatedly against the same (evolving) catalog
+/// with different view sets — each call builds a fresh DAG and memo.
+pub fn plan_maintenance(catalog: &mut Catalog, problem: &MaintenanceProblem) -> PlannedMaintenance {
     let start = Instant::now();
     let (dag, subsumption) = build_dag(catalog, &problem.views);
     let mut initial = MatSet::default();
@@ -136,80 +153,19 @@ pub fn optimize(catalog: &mut Catalog, problem: &MaintenanceProblem) -> Optimize
             }
         }
     }
-    let mut engine = CostEngine::new(
-        &dag,
-        catalog,
-        &problem.updates,
-        problem.cost_model,
-        initial,
-    );
+    let mut engine = CostEngine::new(&dag, catalog, &problem.updates, problem.cost_model, initial);
     let greedy = run_greedy(&mut engine, &problem.options);
     let program = extract_program(&engine);
-
-    // Classify selections.
-    let mut chosen_mats = Vec::new();
-    let mut chosen_diffs = Vec::new();
-    let mut chosen_indices = Vec::new();
-    for (cand, benefit) in &greedy.chosen {
-        match *cand {
-            Candidate::Full(e) => {
-                let (_, incremental) = engine.cost_full_result(e);
-                let strategy = if incremental {
-                    RefreshStrategy::Incremental
-                } else {
-                    RefreshStrategy::Recompute
-                };
-                chosen_mats.push(MatChoice {
-                    node: e,
-                    description: crate::opt::describe_candidate(&dag, *cand),
-                    strategy,
-                    permanent: incremental,
-                    benefit: *benefit,
-                });
-            }
-            Candidate::Diff(e, u) => chosen_diffs.push((e, u)),
-            Candidate::Index(target, attr) => {
-                let (_, maintained) = engine.cost_index(target);
-                chosen_indices.push(IndexChoice {
-                    target,
-                    attr,
-                    permanent: maintained,
-                    benefit: *benefit,
-                });
-            }
-        }
-    }
-    let view_strategies: Vec<(String, RefreshStrategy, f64)> = dag
-        .roots()
-        .iter()
-        .map(|r| {
-            let (cost, incremental) = engine.cost_full_result(r.eq);
-            let strategy = if incremental {
-                RefreshStrategy::Incremental
-            } else {
-                RefreshStrategy::Recompute
-            };
-            (r.name.clone(), strategy, cost)
-        })
-        .collect();
     let _ = classify_refresh(&engine);
+    let report = summarize(&dag, &engine, &greedy, subsumption, program, start);
+    drop(engine);
+    PlannedMaintenance { dag, report }
+}
 
-    OptimizerReport {
-        total_cost: greedy.final_cost,
-        nogreedy_cost: greedy.initial_cost,
-        chosen_mats,
-        chosen_diffs,
-        chosen_indices,
-        view_strategies,
-        subsumption,
-        dag_eq_nodes: dag.eq_count(),
-        dag_op_nodes: dag.op_count(),
-        benefit_evaluations: greedy.benefit_evaluations,
-        full_slot_recomputes: engine.stats.full_slot_recomputes,
-        diff_slot_recomputes: engine.stats.diff_slot_recomputes,
-        optimization_time: start.elapsed(),
-        program,
-    }
+/// Run the full pipeline: DAG construction → subsumption → differential
+/// costing → greedy selection → program extraction.
+pub fn optimize(catalog: &mut Catalog, problem: &MaintenanceProblem) -> OptimizerReport {
+    plan_maintenance(catalog, problem).report
 }
 
 /// Convenience: run both Greedy and NoGreedy on the same problem and return
@@ -265,13 +221,7 @@ pub fn optimize_workload(
             }
         }
     }
-    let mut engine = CostEngine::new(
-        &dag,
-        catalog,
-        &problem.updates,
-        problem.cost_model,
-        initial,
-    );
+    let mut engine = CostEngine::new(&dag, catalog, &problem.updates, problem.cost_model, initial);
     engine.query_workload = dag
         .roots()
         .iter()
@@ -458,8 +408,7 @@ mod tests {
             frequency: 50.0,
         }];
         let updates = UpdateModel::percentage(tables, 5.0, |t| c.table(t).stats.rows);
-        let problem =
-            MaintenanceProblem::new(vec![views[0].clone()], updates).with_pk_indices(&c);
+        let problem = MaintenanceProblem::new(vec![views[0].clone()], updates).with_pk_indices(&c);
         let (report, query_cost) = optimize_workload(&mut c, &problem, &queries);
         // The query's root (or a subexpression of it) should be worth
         // materializing at this frequency, driving query cost below the
@@ -470,6 +419,34 @@ mod tests {
             !report.chosen_mats.is_empty() || !report.chosen_indices.is_empty(),
             "a 50×-per-cycle query should justify some materialization"
         );
+    }
+
+    #[test]
+    fn plan_maintenance_is_reentrant_over_evolving_view_set() {
+        // A long-lived engine re-plans as views register and drop; repeated
+        // calls against the same catalog must work, and the returned DAG
+        // must match the program's node ids.
+        let (mut c, views, tables) = setup();
+        let updates = UpdateModel::percentage(tables, 5.0, |t| c.table(t).stats.rows);
+        let p1 =
+            MaintenanceProblem::new(vec![views[0].clone()], updates.clone()).with_pk_indices(&c);
+        let first = plan_maintenance(&mut c, &p1);
+        assert_eq!(first.report.program.views.len(), 1);
+
+        let p2 = MaintenanceProblem::new(views.clone(), updates).with_pk_indices(&c);
+        let second = plan_maintenance(&mut c, &p2);
+        assert_eq!(second.report.program.views.len(), 2);
+        for (name, e) in &second.report.program.views {
+            assert!(
+                second
+                    .dag
+                    .roots()
+                    .iter()
+                    .any(|r| &r.name == name && r.eq == *e),
+                "program node {e} for {name} missing from returned DAG"
+            );
+        }
+        assert!(second.report.total_cost.is_finite());
     }
 
     #[test]

@@ -344,8 +344,8 @@ mod tests {
         // 100 delta rows probing a 1M-row indexed relation vs hashing the
         // whole relation.
         let inl = model.index_nl_join(100.0, 100.0, 1_000_000.0, 100);
-        let hj = model.hash_join(1_000_000.0, 100, 100.0, 100, 100.0)
-            + model.scan(1_000_000.0, 100); // hash join must read the inner
+        let hj =
+            model.hash_join(1_000_000.0, 100, 100.0, 100, 100.0) + model.scan(1_000_000.0, 100); // hash join must read the inner
         assert!(inl < hj / 10.0, "inl={inl} hj={hj}");
     }
 

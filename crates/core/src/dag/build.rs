@@ -178,7 +178,9 @@ impl Dag {
             return *id;
         }
         let schema = spj_schema(catalog, &tables);
-        let stats_old = spj_stats(catalog, &tables, &preds, &|t| catalog.table(t).stats.clone());
+        let stats_old = spj_stats(catalog, &tables, &preds, &|t| {
+            catalog.table(t).stats.clone()
+        });
         let id = self.new_eq(key, schema, tables.clone(), stats_old);
 
         if tables.len() == 1 {
@@ -286,7 +288,13 @@ impl Dag {
                 let r = self.insert_expr(catalog, right);
                 let schema = self.eq(l).schema.clone();
                 let st = stats::derive_union(&self.eq(l).stats_old, &self.eq(r).stats_old);
-                self.ensure_derived(DerivedSig::UnionAll, vec![l, r], OpKind::UnionAll, schema, st)
+                self.ensure_derived(
+                    DerivedSig::UnionAll,
+                    vec![l, r],
+                    OpKind::UnionAll,
+                    schema,
+                    st,
+                )
             }
             LogicalExpr::Minus { left, right } => {
                 let l = self.insert_expr(catalog, left);
@@ -299,7 +307,13 @@ impl Dag {
                 let child = self.insert_expr(catalog, input);
                 let schema = self.eq(child).schema.clone();
                 let st = stats::derive_distinct(&self.eq(child).stats_old);
-                self.ensure_derived(DerivedSig::Distinct, vec![child], OpKind::Distinct, schema, st)
+                self.ensure_derived(
+                    DerivedSig::Distinct,
+                    vec![child],
+                    OpKind::Distinct,
+                    schema,
+                    st,
+                )
             }
         }
     }

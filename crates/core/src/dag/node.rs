@@ -109,7 +109,10 @@ pub enum SemKey {
         preds: Predicate,
     },
     /// Non-SPJ operator applied to canonical children.
-    Derived { sig: DerivedSig, children: Vec<EqId> },
+    Derived {
+        sig: DerivedSig,
+        children: Vec<EqId>,
+    },
 }
 
 /// The parameter part of a non-SPJ operator's key.

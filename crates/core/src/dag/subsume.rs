@@ -72,11 +72,7 @@ fn add_select_derivations(dag: &mut Dag, report: &mut SubsumptionReport) {
                 // (b) Range implication on a single differing conjunct.
                 if let Some((c_target, c_source)) = single_conjunct_difference(tp, sp) {
                     if implies(&c_target, &c_source) && !implies(&c_source, &c_target) {
-                        to_add.push((
-                            *target,
-                            *source,
-                            Predicate::from_conjuncts(vec![c_target]),
-                        ));
+                        to_add.push((*target, *source, Predicate::from_conjuncts(vec![c_target])));
                         report.range_derivations += 1;
                     }
                 }
@@ -121,7 +117,10 @@ fn single_conjunct_difference(a: &Predicate, b: &Predicate) -> Option<(ScalarExp
         .cloned()
         .collect();
     if a_only.len() == 1 && b_only.len() == 1 {
-        Some((a_only.into_iter().next().unwrap(), b_only.into_iter().next().unwrap()))
+        Some((
+            a_only.into_iter().next().unwrap(),
+            b_only.into_iter().next().unwrap(),
+        ))
     } else {
         None
     }
@@ -205,9 +204,7 @@ fn add_aggregate_rollups(dag: &mut Dag, catalog: &mut Catalog, report: &mut Subs
                     } else {
                         (e1, e2, a1, a2)
                     };
-                    if let Some(specs) =
-                        rollup_specs(coarse_specs, fine_specs, dag, *fine)
-                    {
+                    if let Some(specs) = rollup_specs(coarse_specs, fine_specs, dag, *fine) {
                         let group_by = if gu == *g1 { g2.clone() } else { g1.clone() };
                         dag.add_op(
                             OpKind::Aggregate {
@@ -293,7 +290,10 @@ fn rollup_specs(
 
 /// Distributive aggregates that support roll-up.
 fn is_distributive(f: AggFunc) -> bool {
-    matches!(f, AggFunc::Sum | AggFunc::Count | AggFunc::Min | AggFunc::Max)
+    matches!(
+        f,
+        AggFunc::Sum | AggFunc::Count | AggFunc::Min | AggFunc::Max
+    )
 }
 
 /// The partial-aggregate function stored at the finer level.

@@ -157,7 +157,13 @@ impl DiffProps {
         }
     }
 
-    fn derive_delta(&self, _dag: &Dag, sig: &DerivedSig, children: &[EqId], u: UpdateId) -> RelStats {
+    fn derive_delta(
+        &self,
+        _dag: &Dag,
+        sig: &DerivedSig,
+        children: &[EqId],
+        u: UpdateId,
+    ) -> RelStats {
         let d0 = self.delta(children[0], u);
         match sig {
             DerivedSig::Select(p) => stats::derive_select(d0, p),
@@ -227,8 +233,8 @@ fn fk_prunes_delta(
             if !tables.contains(&child_table) {
                 continue;
             }
-            let child_updated_before = updates.tables().any(|t| t == child_table)
-                && child_table < step.table;
+            let child_updated_before =
+                updates.tables().any(|t| t == child_table) && child_table < step.table;
             if !child_updated_before {
                 return true;
             }

@@ -64,11 +64,16 @@ pub enum Alg {
     Filter,
     /// Probe an index on a stored relation for a sargable conjunct, then
     /// apply the residual predicate.
-    IndexSelect { target: StoredRef, attr: AttrId },
+    IndexSelect {
+        target: StoredRef,
+        attr: AttrId,
+    },
     /// Pipelined projection.
     Project,
     /// Hash join; `build_left` says which canonical child is the build side.
-    HashJoin { build_left: bool },
+    HashJoin {
+        build_left: bool,
+    },
     /// Sort both inputs, then merge.
     MergeJoin,
     /// Block nested loops (inner materialized).
@@ -377,10 +382,7 @@ impl<'a> CostEngine<'a> {
                 let (ins, del) = self.updates.table_delta(t);
                 (self.updates.rows_after_all(t, def.stats.rows), ins + del)
             }
-            StoredRef::Mat(e) => (
-                self.props.new_state(e).rows,
-                self.props.total_delta_rows(e),
-            ),
+            StoredRef::Mat(e) => (self.props.new_state(e).rows, self.props.total_delta_rows(e)),
         };
         let width = match target {
             StoredRef::Base(t) => self.catalog.table(t).schema.row_width(),
@@ -586,10 +588,7 @@ impl<'a> CostEngine<'a> {
                     changes.push(Change {
                         eq: e,
                         slot: Slot::Diff(u),
-                        prev: std::mem::replace(
-                            &mut self.diff[e.0 as usize][u.0 as usize],
-                            nd,
-                        ),
+                        prev: std::mem::replace(&mut self.diff[e.0 as usize][u.0 as usize], nd),
                     });
                     diff_changed.push(u);
                 }
@@ -870,11 +869,7 @@ impl<'a> CostEngine<'a> {
     }
 
     /// Sargable index path for a Select op over `child` with `pred`.
-    fn index_select_path(
-        &self,
-        child: EqId,
-        pred: &Predicate,
-    ) -> Option<(StoredRef, AttrId, f64)> {
+    fn index_select_path(&self, child: EqId, pred: &Predicate) -> Option<(StoredRef, AttrId, f64)> {
         let node = self.dag.eq(child);
         let target = if let Some(t) = node.as_base_table() {
             StoredRef::Base(t)
@@ -967,12 +962,28 @@ impl<'a> CostEngine<'a> {
                 let r_dep = self.dag.eq(r).depends_on(table);
                 match (l_dep, r_dep) {
                     (true, false) => {
-                        self.delta_join_alternatives(&mut alts, op_id, u, l, r, true, pred,
-                            out_delta.rows);
+                        self.delta_join_alternatives(
+                            &mut alts,
+                            op_id,
+                            u,
+                            l,
+                            r,
+                            true,
+                            pred,
+                            out_delta.rows,
+                        );
                     }
                     (false, true) => {
-                        self.delta_join_alternatives(&mut alts, op_id, u, r, l, false, pred,
-                            out_delta.rows);
+                        self.delta_join_alternatives(
+                            &mut alts,
+                            op_id,
+                            u,
+                            r,
+                            l,
+                            false,
+                            pred,
+                            out_delta.rows,
+                        );
                     }
                     (true, true) => {
                         // Both inputs change (only possible through non-SPJ
@@ -987,7 +998,13 @@ impl<'a> CostEngine<'a> {
                             + self.c_full(l)
                             + self.c_full(r)
                             + m.hash_join(dl, self.width(l), r_rows, self.width(r), out_delta.rows)
-                            + m.hash_join(dr, self.width(r), l_rows + dl, self.width(l), out_delta.rows)
+                            + m.hash_join(
+                                dr,
+                                self.width(r),
+                                l_rows + dl,
+                                self.width(l),
+                                out_delta.rows,
+                            )
                             + m.union_all(out_delta.rows);
                         alts.push((cost, Alg::HashJoin { build_left: true }));
                     }
@@ -1315,12 +1332,7 @@ mod tests {
     fn pk_indices(f: &Fixture) -> HashSet<(StoredRef, AttrId)> {
         [f.a, f.b, f.c]
             .iter()
-            .map(|t| {
-                (
-                    StoredRef::Base(*t),
-                    f.catalog.table(*t).primary_key[0],
-                )
-            })
+            .map(|t| (StoredRef::Base(*t), f.catalog.table(*t).primary_key[0]))
             .collect()
     }
 
@@ -1331,9 +1343,8 @@ mod tests {
     #[test]
     fn full_costs_are_finite_and_monotone_in_size() {
         let f = fixture();
-        let updates = UpdateModel::percentage([f.a, f.b, f.c], 10.0, |t| {
-            f.catalog.table(t).stats.rows
-        });
+        let updates =
+            UpdateModel::percentage([f.a, f.b, f.c], 10.0, |t| f.catalog.table(t).stats.rows);
         let eng = engine(
             &f,
             &updates,
@@ -1351,9 +1362,8 @@ mod tests {
     #[test]
     fn diffcost_much_cheaper_than_recompute_at_small_updates() {
         let f = fixture();
-        let updates = UpdateModel::percentage([f.a, f.b, f.c], 0.5, |t| {
-            f.catalog.table(t).stats.rows
-        });
+        let updates =
+            UpdateModel::percentage([f.a, f.b, f.c], 0.5, |t| f.catalog.table(t).stats.rows);
         let mut mats = MatSet {
             full: [f.root].into_iter().collect(),
             ..Default::default()
@@ -1377,9 +1387,8 @@ mod tests {
     #[test]
     fn recompute_wins_at_huge_updates() {
         let f = fixture();
-        let updates = UpdateModel::percentage([f.a, f.b, f.c], 90.0, |t| {
-            f.catalog.table(t).stats.rows
-        });
+        let updates =
+            UpdateModel::percentage([f.a, f.b, f.c], 90.0, |t| f.catalog.table(t).stats.rows);
         let eng = engine(
             &f,
             &updates,
@@ -1399,9 +1408,8 @@ mod tests {
     #[test]
     fn materializing_a_shared_node_lowers_total() {
         let f = fixture();
-        let updates = UpdateModel::percentage([f.a, f.b, f.c], 5.0, |t| {
-            f.catalog.table(t).stats.rows
-        });
+        let updates =
+            UpdateModel::percentage([f.a, f.b, f.c], 5.0, |t| f.catalog.table(t).stats.rows);
         let mut mats = MatSet {
             full: [f.root].into_iter().collect(),
             ..Default::default()
@@ -1434,9 +1442,8 @@ mod tests {
     #[test]
     fn incremental_and_full_recompute_agree() {
         let f = fixture();
-        let updates = UpdateModel::percentage([f.a, f.b, f.c], 10.0, |t| {
-            f.catalog.table(t).stats.rows
-        });
+        let updates =
+            UpdateModel::percentage([f.a, f.b, f.c], 10.0, |t| f.catalog.table(t).stats.rows);
         let mut mats = MatSet {
             full: [f.root].into_iter().collect(),
             ..Default::default()
@@ -1598,9 +1605,8 @@ mod tests {
     #[test]
     fn total_cost_includes_diff_and_index_members() {
         let f = fixture();
-        let updates = UpdateModel::percentage([f.a, f.b, f.c], 10.0, |t| {
-            f.catalog.table(t).stats.rows
-        });
+        let updates =
+            UpdateModel::percentage([f.a, f.b, f.c], 10.0, |t| f.catalog.table(t).stats.rows);
         let mut eng = engine(
             &f,
             &updates,

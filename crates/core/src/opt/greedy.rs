@@ -346,7 +346,12 @@ fn enumerate_index_candidates(engine: &CostEngine<'_>) -> Vec<Candidate> {
         match &op.kind {
             OpKind::Join { pred } => {
                 for (a, b) in pred.equijoin_keys() {
-                    for (side, attr) in [(op.children[0], a), (op.children[0], b), (op.children[1], a), (op.children[1], b)] {
+                    for (side, attr) in [
+                        (op.children[0], a),
+                        (op.children[0], b),
+                        (op.children[1], a),
+                        (op.children[1], b),
+                    ] {
                         let node = dag.eq(side);
                         if node.schema.position_of(attr).is_none() {
                             continue;
@@ -540,7 +545,11 @@ mod tests {
         let bc = LogicalExpr::join(
             LogicalExpr::select(
                 LogicalExpr::scan(b),
-                Predicate::from_expr(ScalarExpr::col_cmp_lit(b_x, mvmqo_relalg::expr::CmpOp::Lt, 5i64)),
+                Predicate::from_expr(ScalarExpr::col_cmp_lit(
+                    b_x,
+                    mvmqo_relalg::expr::CmpOp::Lt,
+                    5i64,
+                )),
             ),
             LogicalExpr::scan(c),
             Predicate::from_expr(ScalarExpr::col_eq_col(b_id, c_bid)),

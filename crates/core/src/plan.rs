@@ -32,7 +32,10 @@ pub enum PlanNode {
     /// Sequential scan of a base table (current state).
     ScanBase(TableId),
     /// Scan one side of a base table's delta log.
-    ScanDelta { table: TableId, kind: DeltaKind },
+    ScanDelta {
+        table: TableId,
+        kind: DeltaKind,
+    },
     /// Read a stored materialized full result (computed on demand by the
     /// runtime if stale/absent).
     ReadMat(EqId),
@@ -119,16 +122,15 @@ impl PhysPlan {
                 input.fmt_indented(f, indent + 1)
             }
             PlanNode::HashJoin {
-                build,
-                probe,
-                keys,
-                ..
+                build, probe, keys, ..
             } => {
                 writeln!(f, "{pad}HashJoin {keys:?}")?;
                 build.fmt_indented(f, indent + 1)?;
                 probe.fmt_indented(f, indent + 1)
             }
-            PlanNode::MergeJoin { left, right, keys, .. } => {
+            PlanNode::MergeJoin {
+                left, right, keys, ..
+            } => {
                 writeln!(f, "{pad}MergeJoin {keys:?}")?;
                 left.fmt_indented(f, indent + 1)?;
                 right.fmt_indented(f, indent + 1)
@@ -235,15 +237,10 @@ pub struct Program {
 pub fn extract_program(engine: &CostEngine<'_>) -> Program {
     let dag = engine.dag;
     let mut program = Program {
-        views: dag
-            .roots()
-            .iter()
-            .map(|r| (r.name.clone(), r.eq))
-            .collect(),
+        views: dag.roots().iter().map(|r| (r.name.clone(), r.eq)).collect(),
         ..Default::default()
     };
-    let view_set: std::collections::HashSet<EqId> =
-        program.views.iter().map(|(_, e)| *e).collect();
+    let view_set: std::collections::HashSet<EqId> = program.views.iter().map(|(_, e)| *e).collect();
 
     // Full plans + temp/perm classification for every materialized result.
     for &e in &engine.mats.full {
@@ -390,7 +387,16 @@ pub fn extract_full(engine: &CostEngine<'_>, e: EqId) -> PhysPlan {
         (OpKind::Join { pred }, alg) => {
             let l = input_full(engine, op.children[0]);
             let r = input_full(engine, op.children[1]);
-            join_plan(engine, schema, l, r, op.children[0], op.children[1], pred, alg)
+            join_plan(
+                engine,
+                schema,
+                l,
+                r,
+                op.children[0],
+                op.children[1],
+                pred,
+                alg,
+            )
         }
         (OpKind::Aggregate { group_by, aggs }, _) => PhysPlan {
             schema,
@@ -402,12 +408,7 @@ pub fn extract_full(engine: &CostEngine<'_>, e: EqId) -> PhysPlan {
         },
         (OpKind::UnionAll, _) => PhysPlan {
             schema,
-            node: PlanNode::UnionAll(
-                op.children
-                    .iter()
-                    .map(|c| input_full(engine, *c))
-                    .collect(),
-            ),
+            node: PlanNode::UnionAll(op.children.iter().map(|c| input_full(engine, *c)).collect()),
         },
         (OpKind::Minus, _) => PhysPlan {
             schema,
@@ -691,11 +692,7 @@ fn join_plan(
 }
 
 /// Partition equi-join keys as (left attr, right attr).
-fn split_keys(
-    pred: &Predicate,
-    l_schema: &Schema,
-    r_schema: &Schema,
-) -> Vec<(AttrId, AttrId)> {
+fn split_keys(pred: &Predicate, l_schema: &Schema, r_schema: &Schema) -> Vec<(AttrId, AttrId)> {
     pred.equijoin_keys()
         .into_iter()
         .filter_map(|(a, b)| {
@@ -824,8 +821,7 @@ mod tests {
     #[test]
     fn diff_plan_reads_delta_log() {
         let (catalog, dag, root, tables) = fixture();
-        let updates =
-            UpdateModel::percentage(tables.clone(), 5.0, |t| catalog.table(t).stats.rows);
+        let updates = UpdateModel::percentage(tables.clone(), 5.0, |t| catalog.table(t).stats.rows);
         let mut mats = MatSet {
             full: [root].into_iter().collect(),
             ..Default::default()

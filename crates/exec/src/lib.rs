@@ -24,5 +24,7 @@ pub mod runtime;
 
 pub use meter::Meter;
 pub use reference::eval_logical;
-pub use run::{execute_program, index_plan_from_report, view_root, ExecReport, IndexPlan};
-pub use runtime::{align_rows, Runtime};
+pub use run::{
+    execute_epoch, execute_program, index_plan_from_report, view_root, ExecReport, IndexPlan,
+};
+pub use runtime::{align_rows, Runtime, RuntimeState};

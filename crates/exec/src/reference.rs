@@ -18,7 +18,7 @@ use std::collections::HashMap;
 /// Evaluate a logical expression directly over `db`.
 pub fn eval_logical(expr: &LogicalExpr, catalog: &Catalog, db: &Database) -> Vec<Tuple> {
     match expr {
-        LogicalExpr::Scan { table } => db.base(*table).rows().to_vec(),
+        LogicalExpr::Scan { table } => db.base(*table).expect("base table loaded").rows().to_vec(),
         LogicalExpr::Select { input, predicate } => {
             let schema = input.schema(catalog);
             eval_logical(input, catalog, db)
@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn distinct_dedups() {
         let (c, mut db, t) = setup();
-        let rows = db.base(t).rows().to_vec();
+        let rows = db.base(t).unwrap().rows().to_vec();
         let doubled: Vec<Tuple> = rows.iter().chain(rows.iter()).cloned().collect();
         db.put_base(
             t,

@@ -7,9 +7,15 @@
 //! state with updates `< u`), merging, applying the base delta, and
 //! invalidating stale temporaries — and finally refreshing
 //! recompute-strategy views.
+//!
+//! [`execute_epoch`] is the long-lived variant: the caller owns a
+//! [`RuntimeState`] that carries the materialized results (and their hidden
+//! aggregate/distinct support state and indices) from one epoch to the
+//! next, so permanent materializations are maintained in place rather than
+//! rebuilt every cycle.
 
 use crate::meter::Meter;
-use crate::runtime::Runtime;
+use crate::runtime::{Runtime, RuntimeState};
 use mvmqo_core::cost::CostModel;
 use mvmqo_core::dag::{Dag, EqId};
 use mvmqo_core::opt::StoredRef;
@@ -38,6 +44,13 @@ pub struct ExecReport {
     pub view_rows: BTreeMap<String, Vec<Tuple>>,
     /// Views that fell back to recomputation mid-run (MIN/MAX deletions).
     pub forced_recomputes: usize,
+    /// Full results (re)computed during the setup phase. Zero when every
+    /// maintained result was served from a persisted [`RuntimeState`] —
+    /// the signal that nothing was rebuilt across epochs.
+    pub setup_builds: usize,
+    /// Full results (re)computed over the whole cycle (setup + on-demand
+    /// temporaries + final recomputes).
+    pub total_builds: usize,
 }
 
 /// Indices the executor must realize before running.
@@ -53,6 +66,7 @@ pub struct IndexPlan {
 ///
 /// On return, `db` holds the post-update base tables, and every view has
 /// been refreshed (incrementally or by recomputation, per the program).
+/// One-shot: materialized state is built and dropped within the call.
 pub fn execute_program(
     dag: &Dag,
     catalog: &Catalog,
@@ -62,15 +76,46 @@ pub fn execute_program(
     program: &Program,
     indices: &IndexPlan,
 ) -> ExecReport {
-    // Realize base indices.
+    let mut state = RuntimeState::new();
+    execute_epoch(
+        dag, catalog, model, db, deltas, program, indices, &mut state,
+    )
+}
+
+/// Execute one maintenance epoch, resuming from (and persisting back into)
+/// `state`. Pass the same `state` across consecutive epochs of the same
+/// program so permanent materializations and view contents survive; drop
+/// the state whenever the program is re-optimized (node ids change).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_epoch(
+    dag: &Dag,
+    catalog: &Catalog,
+    model: CostModel,
+    db: &mut Database,
+    deltas: &DeltaSet,
+    program: &Program,
+    indices: &IndexPlan,
+    state: &mut RuntimeState,
+) -> ExecReport {
+    // Realize base indices. Skip ones that already exist: the storage
+    // layer keeps indices in sync as deltas apply, so across epochs they
+    // persist rather than being rebuilt.
     for (t, attr) in &indices.base {
-        db.create_base_index(*t, *attr, IndexKind::Hash);
+        if db
+            .base(*t)
+            .expect("base table loaded")
+            .index_on(*attr)
+            .is_none()
+        {
+            db.create_base_index(*t, *attr, IndexKind::Hash)
+                .expect("base table loaded");
+        }
     }
     let mut mat_indices: HashMap<EqId, Vec<AttrId>> = HashMap::new();
     for (e, attr) in &indices.mats {
         mat_indices.entry(*e).or_default().push(*attr);
     }
-    let mut rt = Runtime::new(
+    let mut rt = Runtime::with_state(
         dag,
         catalog,
         model,
@@ -78,6 +123,7 @@ pub fn execute_program(
         deltas,
         program.full_plans.clone(),
         mat_indices,
+        std::mem::take(state),
     );
 
     // ------------------------------------------------------------------
@@ -91,6 +137,7 @@ pub fn execute_program(
     }
     let setup_meter = rt.meter.clone();
     let setup_seconds = setup_meter.seconds;
+    let setup_builds = rt.full_builds;
 
     // Incrementally maintained results: they are merged when affected and
     // exactly unchanged when their differential is empty (independence or
@@ -147,7 +194,9 @@ pub fn execute_program(
         };
         let width = catalog.table(table).schema.row_width();
         let batch_len = batch.inserts.len() + batch.deletes.len();
-        rt.db.apply_base_delta(table, &batch);
+        rt.db
+            .apply_base_delta(table, &batch)
+            .expect("base table loaded");
         rt.meter.charge_seq(&model, batch_len, width);
 
         // 4. Invalidate stale temporaries; maintained results stay fresh.
@@ -183,12 +232,16 @@ pub fn execute_program(
         blocks_io: total.blocks_io - setup_meter.blocks_io,
         random_pages: total.random_pages - setup_meter.random_pages,
     };
+    let total_builds = rt.full_builds;
+    *state = rt.take_state();
     ExecReport {
         setup_seconds,
         maintenance_seconds: maintenance_meter.seconds,
         maintenance_meter,
         view_rows,
         forced_recomputes,
+        setup_builds,
+        total_builds,
     }
 }
 

@@ -127,6 +127,50 @@ impl DistinctState {
     }
 }
 
+/// The materialized state a refresh cycle leaves behind: stored results,
+/// their freshness marks, and the hidden aggregate/distinct support state.
+///
+/// For the one-shot pipeline this is created and dropped inside
+/// [`crate::run::execute_program`]; a long-lived warehouse engine instead
+/// keeps it across epochs (via [`crate::run::execute_epoch`]) so permanent
+/// materializations and their indices are *reused*, not rebuilt. Node ids
+/// are only meaningful for the DAG/program the state was built under — drop
+/// the state whenever the engine re-optimizes.
+#[derive(Debug, Default)]
+pub struct RuntimeState {
+    pub(crate) mats: HashMap<EqId, StoredTable>,
+    pub(crate) fresh: HashSet<EqId>,
+    pub(crate) agg_states: HashMap<EqId, AggState>,
+    pub(crate) distinct_states: HashMap<EqId, DistinctState>,
+}
+
+impl RuntimeState {
+    pub fn new() -> Self {
+        RuntimeState::default()
+    }
+
+    /// Rows of a stored result, if present (warehouse `query` reads served
+    /// from the maintained materializations).
+    pub fn mat_rows(&self, e: EqId) -> Option<&[Tuple]> {
+        self.mats.get(&e).map(|t| t.rows())
+    }
+
+    /// Number of stored results.
+    pub fn mat_count(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// Total tuples held by stored results.
+    pub fn total_tuples(&self) -> usize {
+        self.mats.values().map(StoredTable::len).sum()
+    }
+
+    /// True if `e` is stored and fresh.
+    pub fn is_fresh(&self, e: EqId) -> bool {
+        self.fresh.contains(&e)
+    }
+}
+
 /// The execution runtime for one maintenance cycle.
 pub struct Runtime<'a> {
     pub dag: &'a Dag,
@@ -137,11 +181,11 @@ pub struct Runtime<'a> {
     full_plans: BTreeMap<EqId, PhysPlan>,
     /// Indices to maintain on materialized nodes (chosen by the optimizer).
     mat_indices: HashMap<EqId, Vec<AttrId>>,
-    mats: HashMap<EqId, StoredTable>,
-    fresh: HashSet<EqId>,
-    agg_states: HashMap<EqId, AggState>,
-    distinct_states: HashMap<EqId, DistinctState>,
+    state: RuntimeState,
     delta_store: HashMap<(EqId, UpdateId), Vec<Tuple>>,
+    /// Full results actually (re)computed this cycle — stays at zero for
+    /// results served from a persisted [`RuntimeState`].
+    pub full_builds: usize,
     pub meter: Meter,
 }
 
@@ -155,6 +199,32 @@ impl<'a> Runtime<'a> {
         full_plans: BTreeMap<EqId, PhysPlan>,
         mat_indices: HashMap<EqId, Vec<AttrId>>,
     ) -> Self {
+        Runtime::with_state(
+            dag,
+            catalog,
+            model,
+            db,
+            deltas,
+            full_plans,
+            mat_indices,
+            RuntimeState::new(),
+        )
+    }
+
+    /// Like [`Runtime::new`], but resuming from a persisted [`RuntimeState`]
+    /// (the warehouse epoch path): stored results that are still fresh are
+    /// served as-is instead of being rebuilt.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_state(
+        dag: &'a Dag,
+        catalog: &'a Catalog,
+        model: CostModel,
+        db: &'a mut Database,
+        deltas: &'a DeltaSet,
+        full_plans: BTreeMap<EqId, PhysPlan>,
+        mat_indices: HashMap<EqId, Vec<AttrId>>,
+        state: RuntimeState,
+    ) -> Self {
         Runtime {
             dag,
             catalog,
@@ -163,23 +233,27 @@ impl<'a> Runtime<'a> {
             deltas,
             full_plans,
             mat_indices,
-            mats: HashMap::new(),
-            fresh: HashSet::new(),
-            agg_states: HashMap::new(),
-            distinct_states: HashMap::new(),
+            state,
             delta_store: HashMap::new(),
+            full_builds: 0,
             meter: Meter::new(),
         }
     }
 
+    /// Hand the materialized state back to the caller (end of an epoch).
+    pub fn take_state(&mut self) -> RuntimeState {
+        std::mem::take(&mut self.state)
+    }
+
     /// Rows of a materialized result (test/report access; does not compute).
     pub fn mat_rows(&self, e: EqId) -> Option<&[Tuple]> {
-        self.mats.get(&e).map(|t| t.rows())
+        self.state.mats.get(&e).map(|t| t.rows())
     }
 
     /// Ensure a materialized result exists and is fresh; returns its rows.
     pub fn materialize(&mut self, e: EqId) -> &StoredTable {
-        if !self.fresh.contains(&e) {
+        if !self.state.fresh.contains(&e) {
+            self.full_builds += 1;
             let plan = self
                 .full_plans
                 .get(&e)
@@ -199,7 +273,7 @@ impl<'a> Runtime<'a> {
                         AggState::new(group_by.clone(), aggs.clone(), input.schema.clone());
                     state.fold(&input_rows, DeltaKind::Insert);
                     let rows = state.rows();
-                    self.agg_states.insert(e, state);
+                    self.state.agg_states.insert(e, state);
                     rows
                 }
                 PlanNode::Distinct { input } => {
@@ -207,7 +281,7 @@ impl<'a> Runtime<'a> {
                     let mut state = DistinctState::default();
                     state.fold(&input_rows, DeltaKind::Insert);
                     let rows = state.rows();
-                    self.distinct_states.insert(e, state);
+                    self.state.distinct_states.insert(e, state);
                     rows
                 }
                 _ => self.eval(&plan),
@@ -218,18 +292,18 @@ impl<'a> Runtime<'a> {
             for attr in self.mat_indices.get(&e).cloned().unwrap_or_default() {
                 table.create_index(attr, IndexKind::Hash);
             }
-            self.mats.insert(e, table);
-            self.fresh.insert(e);
+            self.state.mats.insert(e, table);
+            self.state.fresh.insert(e);
         }
-        self.mats.get(&e).expect("just materialized")
+        self.state.mats.get(&e).expect("just materialized")
     }
 
     /// Drop a temporary materialization.
     pub fn drop_mat(&mut self, e: EqId) {
-        self.mats.remove(&e);
-        self.fresh.remove(&e);
-        self.agg_states.remove(&e);
-        self.distinct_states.remove(&e);
+        self.state.mats.remove(&e);
+        self.state.fresh.remove(&e);
+        self.state.agg_states.remove(&e);
+        self.state.distinct_states.remove(&e);
     }
 
     /// Mark every materialization depending on `table` stale, except the
@@ -240,13 +314,14 @@ impl<'a> Runtime<'a> {
         keep: &HashSet<EqId>,
     ) {
         let stale: Vec<EqId> = self
+            .state
             .fresh
             .iter()
             .copied()
             .filter(|e| self.dag.eq(*e).depends_on(table) && !keep.contains(e))
             .collect();
         for e in stale {
-            self.fresh.remove(&e);
+            self.state.fresh.remove(&e);
         }
     }
 
@@ -270,7 +345,11 @@ impl<'a> Runtime<'a> {
     pub fn merge_plain(&mut self, e: EqId, rows: Vec<Tuple>, kind: DeltaKind) {
         let width = self.dag.eq(e).schema.row_width();
         self.meter.charge_seq(&self.model, rows.len(), width);
-        let table = self.mats.get_mut(&e).expect("maintained result stored");
+        let table = self
+            .state
+            .mats
+            .get_mut(&e)
+            .expect("maintained result stored");
         match kind {
             DeltaKind::Insert => {
                 table.apply_delta(&mvmqo_storage::delta::DeltaBatch::new(rows, vec![]))
@@ -279,7 +358,7 @@ impl<'a> Runtime<'a> {
                 table.apply_delta(&mvmqo_storage::delta::DeltaBatch::new(vec![], rows))
             }
         }
-        self.fresh.insert(e);
+        self.state.fresh.insert(e);
     }
 
     /// Merge raw input delta rows into a maintained aggregate. Returns
@@ -287,35 +366,41 @@ impl<'a> Runtime<'a> {
     /// deletion).
     pub fn merge_aggregate(&mut self, e: EqId, input_rows: Vec<Tuple>, kind: DeltaKind) -> bool {
         self.meter.charge_cpu(&self.model, input_rows.len());
-        let state = self.agg_states.get_mut(&e).expect("aggregate state");
+        let state = self.state.agg_states.get_mut(&e).expect("aggregate state");
         let needs_recompute = state.fold(&input_rows, kind);
         if needs_recompute {
             // Affected-group recompute, realized as a full refresh (§3.1.2's
             // "significant extra work"; the cost model charges the same).
-            self.fresh.remove(&e);
+            self.state.fresh.remove(&e);
             self.materialize(e);
             return true;
         }
         let rows = state.rows();
-        let schema = self.mats.get(&e).expect("stored").schema().clone();
+        let schema = self.state.mats.get(&e).expect("stored").schema().clone();
         let mut table = StoredTable::with_rows(schema, rows);
         for attr in self.mat_indices.get(&e).cloned().unwrap_or_default() {
             table.create_index(attr, IndexKind::Hash);
         }
-        self.mats.insert(e, table);
-        self.fresh.insert(e);
+        self.state.mats.insert(e, table);
+        self.state.fresh.insert(e);
         false
     }
 
     /// Merge raw input delta rows into a maintained DISTINCT view.
     pub fn merge_distinct(&mut self, e: EqId, input_rows: Vec<Tuple>, kind: DeltaKind) {
         self.meter.charge_cpu(&self.model, input_rows.len());
-        let state = self.distinct_states.get_mut(&e).expect("distinct state");
+        let state = self
+            .state
+            .distinct_states
+            .get_mut(&e)
+            .expect("distinct state");
         state.fold(&input_rows, kind);
         let rows = state.rows();
-        let schema = self.mats.get(&e).expect("stored").schema().clone();
-        self.mats.insert(e, StoredTable::with_rows(schema, rows));
-        self.fresh.insert(e);
+        let schema = self.state.mats.get(&e).expect("stored").schema().clone();
+        self.state
+            .mats
+            .insert(e, StoredTable::with_rows(schema, rows));
+        self.state.fresh.insert(e);
     }
 
     // ==================================================================
@@ -326,7 +411,7 @@ impl<'a> Runtime<'a> {
     pub fn eval(&mut self, plan: &PhysPlan) -> Vec<Tuple> {
         match &plan.node {
             PlanNode::ScanBase(t) => {
-                let rows = self.db.base(*t).rows().to_vec();
+                let rows = self.db.base(*t).expect("base table loaded").rows().to_vec();
                 self.meter
                     .charge_seq(&self.model, rows.len(), plan.schema.row_width());
                 rows
@@ -339,7 +424,7 @@ impl<'a> Runtime<'a> {
             }
             PlanNode::ReadMat(e) => {
                 self.materialize(*e);
-                let table = self.mats.get(e).expect("materialized");
+                let table = self.state.mats.get(e).expect("materialized");
                 let rows = align_rows(table.rows().to_vec(), table.schema(), &plan.schema);
                 self.meter
                     .charge_seq(&self.model, rows.len(), plan.schema.row_width());
@@ -355,7 +440,9 @@ impl<'a> Runtime<'a> {
                     .charge_seq(&self.model, rows.len(), plan.schema.row_width());
                 rows
             }
-            PlanNode::IndexScan { target, attr, pred } => self.eval_index_scan(plan, *target, *attr, pred),
+            PlanNode::IndexScan { target, attr, pred } => {
+                self.eval_index_scan(plan, *target, *attr, pred)
+            }
             PlanNode::Filter { input, pred } => {
                 let rows = self.eval(input);
                 self.meter.charge_cpu(&self.model, rows.len());
@@ -439,7 +526,12 @@ impl<'a> Runtime<'a> {
     ) -> Vec<Tuple> {
         // Equality probe when possible, else a filtered scan.
         let eq_value = pred.conjuncts().iter().find_map(|c| {
-            if let ScalarExpr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+            if let ScalarExpr::Cmp {
+                op: CmpOp::Eq,
+                lhs,
+                rhs,
+            } = c
+            {
                 match (lhs.as_ref(), rhs.as_ref()) {
                     (ScalarExpr::Col(a), ScalarExpr::Lit(v)) if *a == attr => Some(v.clone()),
                     (ScalarExpr::Lit(v), ScalarExpr::Col(a)) if *a == attr => Some(v.clone()),
@@ -607,8 +699,10 @@ impl<'a> Runtime<'a> {
                 }
             }
         }
-        self.meter
-            .charge_cpu(&self.model, lrows.len() * rrows.len().max(1) / 10 + out.len());
+        self.meter.charge_cpu(
+            &self.model,
+            lrows.len() * rrows.len().max(1) / 10 + out.len(),
+        );
         out
     }
 
@@ -670,7 +764,7 @@ impl<'a> Runtime<'a> {
     /// Resolve a stored relation reference (immutable).
     fn stored_table(&mut self, target: StoredRef) -> &StoredTable {
         match target {
-            StoredRef::Base(t) => self.db.base(t),
+            StoredRef::Base(t) => self.db.base(t).expect("base table loaded"),
             StoredRef::Mat(e) => self.materialize(e),
         }
     }
@@ -679,10 +773,10 @@ impl<'a> Runtime<'a> {
     /// creation).
     fn stored_table_mut(&mut self, target: StoredRef) -> &mut StoredTable {
         match target {
-            StoredRef::Base(t) => self.db.base_mut(t),
+            StoredRef::Base(t) => self.db.base_mut(t).expect("base table loaded"),
             StoredRef::Mat(e) => {
                 self.materialize(e);
-                self.mats.get_mut(&e).expect("materialized")
+                self.state.mats.get_mut(&e).expect("materialized")
             }
         }
     }
@@ -741,6 +835,100 @@ mod tests {
     }
 
     #[test]
+    fn align_rows_identical_schema_is_identity() {
+        let from = schema(&[3, 4, 5]);
+        let to = schema(&[3, 4, 5]);
+        let rows = vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]];
+        assert_eq!(align_rows(rows.clone(), &from, &to), rows);
+    }
+
+    #[test]
+    fn align_rows_fully_permuted_schema() {
+        let from = schema(&[1, 2, 3, 4]);
+        let to = schema(&[4, 2, 1, 3]);
+        let rows = vec![
+            vec![
+                Value::Int(10),
+                Value::Int(20),
+                Value::Int(30),
+                Value::Int(40),
+            ],
+            vec![
+                Value::Int(11),
+                Value::Int(21),
+                Value::Int(31),
+                Value::Int(41),
+            ],
+        ];
+        let out = align_rows(rows, &from, &to);
+        assert_eq!(
+            out[0],
+            vec![
+                Value::Int(40),
+                Value::Int(20),
+                Value::Int(10),
+                Value::Int(30)
+            ]
+        );
+        assert_eq!(
+            out[1],
+            vec![
+                Value::Int(41),
+                Value::Int(21),
+                Value::Int(11),
+                Value::Int(31)
+            ]
+        );
+    }
+
+    #[test]
+    fn align_rows_projects_to_narrower_schema() {
+        // A target schema that keeps a subset of the source attributes
+        // (UnionAll arms project shared attributes this way).
+        let from = schema(&[1, 2, 3]);
+        let to = schema(&[3, 1]);
+        let rows = vec![vec![Value::Int(10), Value::Int(20), Value::Int(30)]];
+        let out = align_rows(rows, &from, &to);
+        assert_eq!(out[0], vec![Value::Int(30), Value::Int(10)]);
+    }
+
+    #[test]
+    fn align_rows_empty_input_stays_empty() {
+        let from = schema(&[1, 2]);
+        let to = schema(&[2, 1]);
+        assert!(align_rows(Vec::new(), &from, &to).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing during alignment")]
+    fn align_rows_missing_attribute_panics() {
+        // The target wants an attribute the source never produced — a
+        // planner bug, which must fail loudly rather than mis-align.
+        let from = schema(&[1, 2]);
+        let to = schema(&[1, 7]);
+        align_rows(vec![vec![Value::Int(1), Value::Int(2)]], &from, &to);
+    }
+
+    #[test]
+    fn runtime_state_reports_contents() {
+        let mut state = RuntimeState::new();
+        assert_eq!(state.mat_count(), 0);
+        assert_eq!(state.total_tuples(), 0);
+        let e = EqId(0);
+        assert!(!state.is_fresh(e));
+        assert!(state.mat_rows(e).is_none());
+        state.mats.insert(
+            e,
+            StoredTable::with_rows(schema(&[1]), vec![vec![Value::Int(5)]]),
+        );
+        state.fresh.insert(e);
+        assert_eq!(state.mat_count(), 1);
+        assert_eq!(state.total_tuples(), 1);
+        assert!(state.is_fresh(e));
+        assert_eq!(state.mat_rows(e).unwrap().len(), 1);
+    }
+
+    #[test]
     fn agg_state_fold_and_unfold() {
         let s = schema(&[0, 1]);
         let mut state = AggState::new(
@@ -760,10 +948,7 @@ mod tests {
         assert!(!state.fold(&rows, DeltaKind::Insert));
         assert_eq!(state.rows().len(), 2);
         // Delete one row of group 1.
-        assert!(!state.fold(
-            &[vec![Value::Int(1), Value::Int(10)]],
-            DeltaKind::Delete
-        ));
+        assert!(!state.fold(&[vec![Value::Int(1), Value::Int(10)]], DeltaKind::Delete));
         let out = state.rows();
         assert!(out.contains(&vec![Value::Int(1), Value::Int(5)]));
         // Delete the rest of group 1 → group disappears.
@@ -791,7 +976,11 @@ mod tests {
     fn distinct_state_counts_support() {
         let mut d = DistinctState::default();
         d.fold(
-            &[vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            &[
+                vec![Value::Int(1)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
             DeltaKind::Insert,
         );
         assert_eq!(d.rows().len(), 2);

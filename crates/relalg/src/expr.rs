@@ -228,12 +228,14 @@ impl ScalarExpr {
                 let r = rhs.eval(tuple, schema);
                 eval_arith(*op, &l, &r)
             }
-            ScalarExpr::And(es) => {
-                Value::Bool(es.iter().all(|e| e.eval(tuple, schema) == Value::Bool(true)))
-            }
-            ScalarExpr::Or(es) => {
-                Value::Bool(es.iter().any(|e| e.eval(tuple, schema) == Value::Bool(true)))
-            }
+            ScalarExpr::And(es) => Value::Bool(
+                es.iter()
+                    .all(|e| e.eval(tuple, schema) == Value::Bool(true)),
+            ),
+            ScalarExpr::Or(es) => Value::Bool(
+                es.iter()
+                    .any(|e| e.eval(tuple, schema) == Value::Bool(true)),
+            ),
             ScalarExpr::Not(e) => match e.eval(tuple, schema) {
                 Value::Bool(b) => Value::Bool(!b),
                 _ => Value::Bool(false),
@@ -520,7 +522,10 @@ mod tests {
         let (_, a, b) = schema2();
         let c1 = ScalarExpr::col_cmp_lit(a, CmpOp::Lt, 5i64);
         let c2 = ScalarExpr::col_cmp_lit(b, CmpOp::Gt, 1i64);
-        let nested = ScalarExpr::And(vec![c1.clone(), ScalarExpr::And(vec![c2.clone(), c1.clone()])]);
+        let nested = ScalarExpr::And(vec![
+            c1.clone(),
+            ScalarExpr::And(vec![c2.clone(), c1.clone()]),
+        ]);
         let p = Predicate::from_expr(nested);
         assert_eq!(p.conjuncts().len(), 2);
     }
@@ -578,10 +583,7 @@ mod tests {
     #[test]
     fn result_type_rules() {
         let (s, a, b) = schema2();
-        assert_eq!(
-            ScalarExpr::Col(a).result_type(&s),
-            Some(DataType::Int)
-        );
+        assert_eq!(ScalarExpr::Col(a).result_type(&s), Some(DataType::Int));
         assert_eq!(
             ScalarExpr::arith(ArithOp::Mul, ScalarExpr::Col(a), ScalarExpr::Col(b)).result_type(&s),
             Some(DataType::Float)
@@ -591,12 +593,8 @@ mod tests {
             Some(DataType::Bool)
         );
         assert_eq!(
-            ScalarExpr::arith(
-                ArithOp::Add,
-                ScalarExpr::lit("x"),
-                ScalarExpr::Col(a)
-            )
-            .result_type(&s),
+            ScalarExpr::arith(ArithOp::Add, ScalarExpr::lit("x"), ScalarExpr::Col(a))
+                .result_type(&s),
             None
         );
     }

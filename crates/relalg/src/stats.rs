@@ -323,7 +323,9 @@ pub fn derive_distinct(input: &RelStats) -> RelStats {
         }
     }
     let mut out = input.clone();
-    out.rows = d.min(input.rows).max(if input.rows > 0.0 { 1.0 } else { 0.0 });
+    out.rows = d
+        .min(input.rows)
+        .max(if input.rows > 0.0 { 1.0 } else { 0.0 });
     out.renormalize();
     out
 }

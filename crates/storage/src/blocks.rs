@@ -47,7 +47,9 @@ impl BlockConfig {
         if rows <= 0.0 {
             return 0.0;
         }
-        (rows / self.tuples_per_block(row_width) as f64).ceil().max(1.0)
+        (rows / self.tuples_per_block(row_width) as f64)
+            .ceil()
+            .max(1.0)
     }
 
     /// Exact block count for a concrete stored row count.

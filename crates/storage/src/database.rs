@@ -7,6 +7,7 @@
 //! statistics; the executor reads and mutates the stored rows.
 
 use crate::delta::{DeltaBatch, DeltaSet};
+use crate::error::StorageError;
 use crate::index::IndexKind;
 use crate::table::StoredTable;
 use mvmqo_relalg::catalog::{Catalog, TableId};
@@ -31,16 +32,17 @@ impl Database {
         self.base.insert(id, table);
     }
 
-    pub fn base(&self, id: TableId) -> &StoredTable {
-        self.base
-            .get(&id)
-            .unwrap_or_else(|| panic!("base table {id} not loaded"))
+    /// Contents of a base table. Returns a typed error (instead of
+    /// panicking) when the table was never loaded, so long-lived engines can
+    /// reject bad requests without aborting.
+    pub fn base(&self, id: TableId) -> Result<&StoredTable, StorageError> {
+        self.base.get(&id).ok_or(StorageError::TableNotLoaded(id))
     }
 
-    pub fn base_mut(&mut self, id: TableId) -> &mut StoredTable {
+    pub fn base_mut(&mut self, id: TableId) -> Result<&mut StoredTable, StorageError> {
         self.base
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("base table {id} not loaded"))
+            .ok_or(StorageError::TableNotLoaded(id))
     }
 
     pub fn has_base(&self, id: TableId) -> bool {
@@ -68,33 +70,62 @@ impl Database {
         self.mats.keys().map(String::as_str)
     }
 
+    /// Check that every tuple in `delta` matches the stored table's arity.
+    /// A bad batch must be rejected before any of it is applied.
+    pub fn validate_delta(&self, id: TableId, delta: &DeltaBatch) -> Result<(), StorageError> {
+        let table = self.base(id)?;
+        let expected = table.schema().len();
+        for row in delta.inserts.iter().chain(&delta.deletes) {
+            if row.len() != expected {
+                return Err(StorageError::ArityMismatch {
+                    table: id,
+                    expected,
+                    got: row.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Apply one relation's delta batch to the base table.
-    pub fn apply_base_delta(&mut self, id: TableId, delta: &DeltaBatch) {
-        self.base_mut(id).apply_delta(delta);
+    pub fn apply_base_delta(
+        &mut self,
+        id: TableId,
+        delta: &DeltaBatch,
+    ) -> Result<(), StorageError> {
+        self.base_mut(id)?.apply_delta(delta);
+        Ok(())
     }
 
     /// Apply every batch in a [`DeltaSet`] (used by tests that want the
     /// post-update ground truth in one step; the maintenance executor
     /// applies them one at a time instead, per §3.2.2).
-    pub fn apply_all(&mut self, deltas: &DeltaSet) {
+    pub fn apply_all(&mut self, deltas: &DeltaSet) -> Result<(), StorageError> {
         let tables: Vec<TableId> = deltas.tables().collect();
         for t in tables {
             if let Some(batch) = deltas.get(t) {
-                self.apply_base_delta(t, batch);
+                self.apply_base_delta(t, batch)?;
             }
         }
+        Ok(())
     }
 
     /// Create an index on a base table.
-    pub fn create_base_index(&mut self, id: TableId, attr: AttrId, kind: IndexKind) {
-        self.base_mut(id).create_index(attr, kind);
+    pub fn create_base_index(
+        &mut self,
+        id: TableId,
+        attr: AttrId,
+        kind: IndexKind,
+    ) -> Result<(), StorageError> {
+        self.base_mut(id)?.create_index(attr, kind);
+        Ok(())
     }
 
     /// Live statistics for a base table: catalog column statistics rescaled
     /// to the actual stored row count.
     pub fn live_stats(&self, catalog: &Catalog, id: TableId) -> RelStats {
         let def = catalog.table(id);
-        let actual = self.base(id).len() as f64;
+        let actual = self.base.get(&id).map_or(0, StoredTable::len) as f64;
         let mut stats = def.stats.clone();
         if def.stats.rows > 0.0 && actual != def.stats.rows {
             stats = stats.scaled(actual / def.stats.rows);
@@ -122,20 +153,12 @@ mod tests {
 
     fn setup() -> (Catalog, TableId, Database) {
         let mut c = Catalog::new();
-        let t = c.add_table(
-            "t",
-            vec![ColumnSpec::key("k", DataType::Int)],
-            4.0,
-            &["k"],
-        );
+        let t = c.add_table("t", vec![ColumnSpec::key("k", DataType::Int)], 4.0, &["k"]);
         let mut db = Database::new();
         let schema = c.table(t).schema.clone();
         db.put_base(
             t,
-            StoredTable::with_rows(
-                schema,
-                (0..4).map(|i| vec![Value::Int(i)]).collect(),
-            ),
+            StoredTable::with_rows(schema, (0..4).map(|i| vec![Value::Int(i)]).collect()),
         );
         (c, t, db)
     }
@@ -146,16 +169,19 @@ mod tests {
         db.apply_base_delta(
             t,
             &DeltaBatch::new(vec![vec![Value::Int(10)]], vec![vec![Value::Int(0)]]),
-        );
-        assert_eq!(db.base(t).len(), 4);
-        assert!(db.base(t).rows().iter().any(|r| r[0] == Value::Int(10)));
-        assert!(!db.base(t).rows().iter().any(|r| r[0] == Value::Int(0)));
+        )
+        .unwrap();
+        let base = db.base(t).unwrap();
+        assert_eq!(base.len(), 4);
+        assert!(base.rows().iter().any(|r| r[0] == Value::Int(10)));
+        assert!(!base.rows().iter().any(|r| r[0] == Value::Int(0)));
     }
 
     #[test]
     fn live_stats_track_actual_rowcount() {
         let (c, t, mut db) = setup();
-        db.apply_base_delta(t, &DeltaBatch::new(vec![vec![Value::Int(99)]], vec![]));
+        db.apply_base_delta(t, &DeltaBatch::new(vec![vec![Value::Int(99)]], vec![]))
+            .unwrap();
         let s = db.live_stats(&c, t);
         assert_eq!(s.rows, 5.0);
     }
@@ -168,7 +194,10 @@ mod tests {
             name: "m.x".into(),
             data_type: DataType::Int,
         }]);
-        db.put_mat("temp1", StoredTable::with_rows(schema, vec![vec![Value::Int(1)]]));
+        db.put_mat(
+            "temp1",
+            StoredTable::with_rows(schema, vec![vec![Value::Int(1)]]),
+        );
         assert_eq!(db.mat("temp1").unwrap().len(), 1);
         assert!(db.drop_mat("temp1"));
         assert!(db.mat("temp1").is_none());
@@ -183,14 +212,36 @@ mod tests {
             t,
             DeltaBatch::new(vec![vec![Value::Int(7)], vec![Value::Int(8)]], vec![]),
         );
-        db.apply_all(&ds);
-        assert_eq!(db.base(t).len(), 6);
+        db.apply_all(&ds).unwrap();
+        assert_eq!(db.base(t).unwrap().len(), 6);
     }
 
     #[test]
-    #[should_panic(expected = "not loaded")]
-    fn missing_base_panics() {
+    fn missing_base_is_a_typed_error() {
         let db = Database::new();
-        db.base(TableId(3));
+        assert_eq!(
+            db.base(TableId(3)).unwrap_err(),
+            crate::error::StorageError::TableNotLoaded(TableId(3))
+        );
+        let mut db = Database::new();
+        assert!(db
+            .apply_base_delta(TableId(3), &DeltaBatch::default())
+            .is_err());
+    }
+
+    #[test]
+    fn validate_delta_rejects_arity_mismatch() {
+        let (_, t, db) = setup();
+        let bad = DeltaBatch::new(vec![vec![Value::Int(1), Value::Int(2)]], vec![]);
+        assert!(matches!(
+            db.validate_delta(t, &bad),
+            Err(crate::error::StorageError::ArityMismatch {
+                expected: 1,
+                got: 2,
+                ..
+            })
+        ));
+        let good = DeltaBatch::new(vec![vec![Value::Int(1)]], vec![]);
+        assert!(db.validate_delta(t, &good).is_ok());
     }
 }

@@ -1,0 +1,50 @@
+//! Typed storage errors.
+//!
+//! The storage layer used to panic on bad lookups, which was fine for the
+//! one-shot batch pipeline but unacceptable for a long-lived warehouse
+//! engine: ingesting a malformed batch must surface an error, not abort the
+//! process. All fallible [`crate::database::Database`] entry points return
+//! [`StorageError`].
+
+use mvmqo_relalg::catalog::TableId;
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A base table referenced by id has no stored contents.
+    TableNotLoaded(TableId),
+    /// A delta tuple's arity does not match the table schema.
+    ArityMismatch {
+        table: TableId,
+        expected: usize,
+        got: usize,
+    },
+    /// A delete batch removes a tuple more times than it will occur
+    /// (stored occurrences plus queued inserts). Applying it would
+    /// saturate on the base multiset while incremental maintenance
+    /// subtracts unconditionally — so it must be rejected up front.
+    PhantomDelete { table: TableId },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableNotLoaded(t) => write!(f, "base table {t} not loaded"),
+            StorageError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "delta tuple for table {table} has {got} values, schema expects {expected}"
+            ),
+            StorageError::PhantomDelete { table } => write!(
+                f,
+                "delete batch for table {table} removes a tuple more times than it occurs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

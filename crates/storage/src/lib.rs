@@ -12,16 +12,20 @@
 //! * [`index`] — hash and B-tree secondary indices (§4.3 physical
 //!   properties),
 //! * [`database`] — the runtime database: base tables + materialized
-//!   results + delta application.
+//!   results + delta application,
+//! * [`error`] — typed errors for bad lookups and malformed batches, so
+//!   long-lived engines never abort on bad input.
 
 pub mod blocks;
 pub mod database;
 pub mod delta;
+pub mod error;
 pub mod index;
 pub mod table;
 
 pub use blocks::BlockConfig;
 pub use database::Database;
 pub use delta::{DeltaBatch, DeltaKind, DeltaSet};
+pub use error::StorageError;
 pub use index::{Index, IndexKind};
 pub use table::StoredTable;

@@ -133,11 +133,8 @@ impl StoredTable {
         // charges incremental index maintenance analytically (see
         // mvmqo-core::cost), so this implementation choice does not leak
         // into the experiments.
-        let attrs: Vec<(AttrId, IndexKind)> = self
-            .indices
-            .values()
-            .map(|i| (i.attr, i.kind))
-            .collect();
+        let attrs: Vec<(AttrId, IndexKind)> =
+            self.indices.values().map(|i| (i.attr, i.kind)).collect();
         for (attr, kind) in attrs {
             let pos = self.schema.position_of(attr).expect("index attr in schema");
             self.indices
@@ -190,7 +187,13 @@ mod tests {
     fn indices_follow_mutations() {
         let mut tab = StoredTable::with_rows(schema(), vec![t(1, 10), t(2, 20)]);
         tab.create_index(AttrId(0), IndexKind::Hash);
-        assert_eq!(tab.index_on(AttrId(0)).unwrap().lookup_eq(&Value::Int(2)).len(), 1);
+        assert_eq!(
+            tab.index_on(AttrId(0))
+                .unwrap()
+                .lookup_eq(&Value::Int(2))
+                .len(),
+            1
+        );
         tab.apply_delta(&DeltaBatch::new(vec![t(2, 21)], vec![]));
         let hits = tab.index_on(AttrId(0)).unwrap().lookup_eq(&Value::Int(2));
         assert_eq!(hits.len(), 2);
@@ -205,8 +208,18 @@ mod tests {
         let mut tab = StoredTable::with_rows(schema(), vec![t(1, 10)]);
         tab.create_index(AttrId(0), IndexKind::BTree);
         tab.replace_rows(vec![t(5, 50), t(6, 60)]);
-        assert_eq!(tab.index_on(AttrId(0)).unwrap().lookup_eq(&Value::Int(5)).len(), 1);
-        assert!(tab.index_on(AttrId(0)).unwrap().lookup_eq(&Value::Int(1)).is_empty());
+        assert_eq!(
+            tab.index_on(AttrId(0))
+                .unwrap()
+                .lookup_eq(&Value::Int(5))
+                .len(),
+            1
+        );
+        assert!(tab
+            .index_on(AttrId(0))
+            .unwrap()
+            .lookup_eq(&Value::Int(1))
+            .is_empty());
     }
 
     #[test]

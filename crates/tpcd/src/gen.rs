@@ -188,7 +188,7 @@ mod tests {
         let db = generate_database(&t, 1);
         for id in t.t.all() {
             assert_eq!(
-                db.base(id).len() as f64,
+                db.base(id).unwrap().len() as f64,
                 t.catalog.table(id).stats.rows,
                 "table {}",
                 t.catalog.table(id).name
@@ -202,8 +202,8 @@ mod tests {
         let d1 = generate_database(&t, 7);
         let d2 = generate_database(&t, 7);
         assert_eq!(
-            d1.base(t.t.lineitem).rows()[..10],
-            d2.base(t.t.lineitem).rows()[..10]
+            d1.base(t.t.lineitem).unwrap().rows()[..10],
+            d2.base(t.t.lineitem).unwrap().rows()[..10]
         );
     }
 
@@ -211,14 +211,14 @@ mod tests {
     fn foreign_keys_reference_existing_parents() {
         let t = tpcd_catalog(0.001);
         let db = generate_database(&t, 3);
-        let n_orders = db.base(t.t.orders).len() as i64;
+        let n_orders = db.base(t.t.orders).unwrap().len() as i64;
         let ok_pos = t
             .catalog
             .table(t.t.lineitem)
             .schema
             .position_of(t.attr(t.t.lineitem, "l_orderkey"))
             .unwrap();
-        for row in db.base(t.t.lineitem).rows() {
+        for row in db.base(t.t.lineitem).unwrap().rows() {
             let k = row[ok_pos].as_i64().unwrap();
             assert!(k >= 0 && k < n_orders);
         }
@@ -230,8 +230,8 @@ mod tests {
         let d1 = generate_database(&t, 1);
         let d2 = generate_database(&t, 2);
         assert_ne!(
-            d1.base(t.t.lineitem).rows()[..10],
-            d2.base(t.t.lineitem).rows()[..10]
+            d1.base(t.t.lineitem).unwrap().rows()[..10],
+            d2.base(t.t.lineitem).unwrap().rows()[..10]
         );
     }
 }

@@ -18,7 +18,9 @@ pub mod workloads;
 
 pub use gen::generate_database;
 pub use schema::{cardinalities, tpcd_catalog, Tables, Tpcd};
-pub use updates::generate_updates;
+pub use updates::{
+    epoch_updates, generate_table_update, generate_updates, DriverProfile, UpdateGenError,
+};
 pub use workloads::{
     five_agg_views, five_join_views, single_agg_view, single_join_view, ten_views,
 };

@@ -162,7 +162,12 @@ pub fn tpcd_catalog(sf: f64) -> Tpcd {
             ColumnSpec::with_distinct("o_custkey", DataType::Int, rows("customer")),
             ColumnSpec::with_range("o_orderdate", DataType::Date, 2_400.0, (DATE_LO, DATE_HI)),
             ColumnSpec::with_distinct("o_orderpriority", DataType::Int, 5.0),
-            ColumnSpec::with_range("o_totalprice", DataType::Float, 150_000.0, (900.0, 500_000.0)),
+            ColumnSpec::with_range(
+                "o_totalprice",
+                DataType::Float,
+                150_000.0,
+                (900.0, 500_000.0),
+            ),
             ColumnSpec::with_distinct("o_orderstatus", DataType::Int, 3.0),
             ColumnSpec::with_distinct("o_comment", DataType::Str, rows("orders")),
         ],
@@ -177,7 +182,12 @@ pub fn tpcd_catalog(sf: f64) -> Tpcd {
             ColumnSpec::with_distinct("l_partkey", DataType::Int, rows("part")),
             ColumnSpec::with_distinct("l_suppkey", DataType::Int, rows("supplier")),
             ColumnSpec::with_range("l_quantity", DataType::Int, 50.0, (1.0, 50.0)),
-            ColumnSpec::with_range("l_extendedprice", DataType::Float, 100_000.0, (900.0, 100_000.0)),
+            ColumnSpec::with_range(
+                "l_extendedprice",
+                DataType::Float,
+                100_000.0,
+                (900.0, 100_000.0),
+            ),
             ColumnSpec::with_range("l_discount", DataType::Float, 11.0, (0.0, 0.1)),
             ColumnSpec::with_range("l_shipdate", DataType::Date, 2_500.0, (DATE_LO, DATE_HI)),
             ColumnSpec::with_range("l_receiptdate", DataType::Date, 2_500.0, (DATE_LO, DATE_HI)),
@@ -268,15 +278,14 @@ mod tests {
     #[test]
     fn total_size_near_100mb_at_sf_01() {
         let t = tpcd_catalog(0.1);
-        let total_bytes: f64 = t
-            .t
-            .all()
-            .iter()
-            .map(|id| {
-                let def = t.catalog.table(*id);
-                def.stats.rows * def.schema.row_width() as f64
-            })
-            .sum();
+        let total_bytes: f64 =
+            t.t.all()
+                .iter()
+                .map(|id| {
+                    let def = t.catalog.table(*id);
+                    def.stats.rows * def.schema.row_width() as f64
+                })
+                .sum();
         let mb = total_bytes / (1024.0 * 1024.0);
         assert!(
             (60.0..200.0).contains(&mb),

@@ -14,22 +14,70 @@ use mvmqo_relalg::tuple::Tuple;
 use mvmqo_relalg::types::Value;
 use mvmqo_storage::database::Database;
 use mvmqo_storage::delta::{DeltaBatch, DeltaSet};
+use mvmqo_storage::error::StorageError;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// Errors from the update generator. Generating a batch for a relation the
+/// TPC-D instance does not know (or whose contents were never loaded) is a
+/// caller mistake that must not abort a long-lived engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateGenError {
+    /// The table is not one of the eight TPC-D relations.
+    UnknownTable(TableId),
+    /// The table exists in the catalog but has no stored contents.
+    Storage(StorageError),
+}
+
+impl fmt::Display for UpdateGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateGenError::UnknownTable(t) => write!(f, "unknown TPC-D table {t}"),
+            UpdateGenError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateGenError {}
+
+impl From<StorageError> for UpdateGenError {
+    fn from(e: StorageError) -> Self {
+        UpdateGenError::Storage(e)
+    }
+}
 
 /// Generate one refresh cycle's deltas at `percent`% for every relation the
 /// instance contains (tables absent from `db` are skipped).
-pub fn generate_updates(tpcd: &Tpcd, db: &Database, percent: f64, seed: u64) -> DeltaSet {
+pub fn generate_updates(
+    tpcd: &Tpcd,
+    db: &Database,
+    percent: f64,
+    seed: u64,
+) -> Result<DeltaSet, UpdateGenError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ds = DeltaSet::new();
     for table in tpcd.t.all() {
         if !db.has_base(table) {
             continue;
         }
-        let batch = table_batch(tpcd, db, table, percent, &mut rng);
+        let batch = table_batch(tpcd, db, table, percent, &mut rng)?;
         ds.insert(table, batch);
     }
-    ds
+    Ok(ds)
+}
+
+/// Generate one relation's batch at `percent`% (the warehouse CLI's
+/// `ingest <table> <pct>` path — arbitrary tables, typed failure).
+pub fn generate_table_update(
+    tpcd: &Tpcd,
+    db: &Database,
+    table: TableId,
+    percent: f64,
+    seed: u64,
+) -> Result<DeltaBatch, UpdateGenError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    table_batch(tpcd, db, table, percent, &mut rng)
 }
 
 fn table_batch(
@@ -38,8 +86,8 @@ fn table_batch(
     table: TableId,
     percent: f64,
     rng: &mut StdRng,
-) -> DeltaBatch {
-    let stored = db.base(table);
+) -> Result<DeltaBatch, UpdateGenError> {
+    let stored = db.base(table)?;
     let rows = stored.len();
     let ins_n = ((rows as f64) * percent / 100.0).round() as usize;
     let del_n = ((rows as f64) * percent / 200.0).round() as usize;
@@ -52,7 +100,7 @@ fn table_batch(
         .unwrap_or(0);
     let inserts: Vec<Tuple> = (0..ins_n)
         .map(|i| fresh_row(tpcd, db, table, next_key + i as i64, rng))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let mut deletes: Vec<Tuple> = Vec::with_capacity(del_n);
     if rows > 0 {
         let mut picked = std::collections::HashSet::new();
@@ -61,49 +109,51 @@ fn table_batch(
         }
         deletes.extend(picked.into_iter().map(|i| stored.rows()[i].clone()));
     }
-    DeltaBatch::new(inserts, deletes)
+    Ok(DeltaBatch::new(inserts, deletes))
 }
 
-fn parent_key(db: &Database, table: TableId, rng: &mut StdRng) -> i64 {
-    let n = db.base(table).len() as i64;
-    if n == 0 {
-        0
-    } else {
-        rng.random_range(0..n)
-    }
+fn parent_key(db: &Database, table: TableId, rng: &mut StdRng) -> Result<i64, UpdateGenError> {
+    let n = db.base(table)?.len() as i64;
+    Ok(if n == 0 { 0 } else { rng.random_range(0..n) })
 }
 
-fn fresh_row(tpcd: &Tpcd, db: &Database, table: TableId, key: i64, rng: &mut StdRng) -> Tuple {
+fn fresh_row(
+    tpcd: &Tpcd,
+    db: &Database,
+    table: TableId,
+    key: i64,
+    rng: &mut StdRng,
+) -> Result<Tuple, UpdateGenError> {
     let t = &tpcd.t;
     if table == t.region {
-        vec![Value::Int(key), Value::str(format!("REGION_{key}"))]
+        Ok(vec![Value::Int(key), Value::str(format!("REGION_{key}"))])
     } else if table == t.nation {
-        vec![
+        Ok(vec![
             Value::Int(key),
-            Value::Int(parent_key(db, t.region, rng)),
+            Value::Int(parent_key(db, t.region, rng)?),
             Value::str(format!("NATION_{key}")),
-        ]
+        ])
     } else if table == t.supplier {
-        vec![
+        Ok(vec![
             Value::Int(key),
-            Value::Int(parent_key(db, t.nation, rng)),
+            Value::Int(parent_key(db, t.nation, rng)?),
             Value::Float(rng.random_range(-1_000.0..10_000.0)),
             Value::str(format!("S{key}")),
             Value::str(format!("SA{key}")),
             Value::str(format!("SC{key}")),
-        ]
+        ])
     } else if table == t.customer {
-        vec![
+        Ok(vec![
             Value::Int(key),
-            Value::Int(parent_key(db, t.nation, rng)),
+            Value::Int(parent_key(db, t.nation, rng)?),
             Value::Int(rng.random_range(0..5)),
             Value::Float(rng.random_range(-1_000.0..10_000.0)),
             Value::str(format!("C{key}")),
             Value::str(format!("CA{key}")),
             Value::str(format!("CC{key}")),
-        ]
+        ])
     } else if table == t.part {
-        vec![
+        Ok(vec![
             Value::Int(key),
             Value::Int(rng.random_range(1..=50)),
             Value::Int(rng.random_range(0..25)),
@@ -111,33 +161,33 @@ fn fresh_row(tpcd: &Tpcd, db: &Database, table: TableId, key: i64, rng: &mut Std
             Value::str(format!("P{key}")),
             Value::str(format!("TYPE_{}", rng.random_range(0..150))),
             Value::str(format!("PC{key}")),
-        ]
+        ])
     } else if table == t.partsupp {
-        vec![
+        Ok(vec![
             Value::Int(key),
-            Value::Int(parent_key(db, t.part, rng)),
-            Value::Int(parent_key(db, t.supplier, rng)),
+            Value::Int(parent_key(db, t.part, rng)?),
+            Value::Int(parent_key(db, t.supplier, rng)?),
             Value::Int(rng.random_range(0..10_000)),
             Value::Float(rng.random_range(1.0..1_000.0)),
             Value::str(format!("PS{key}")),
-        ]
+        ])
     } else if table == t.orders {
-        vec![
+        Ok(vec![
             Value::Int(key),
-            Value::Int(parent_key(db, t.customer, rng)),
+            Value::Int(parent_key(db, t.customer, rng)?),
             Value::Date(rng.random_range(0..DATE_HI as i32)),
             Value::Int(rng.random_range(0..5)),
             Value::Float(rng.random_range(900.0..500_000.0)),
             Value::Int(rng.random_range(0..3)),
             Value::str(format!("O{key}")),
-        ]
+        ])
     } else if table == t.lineitem {
         let shipdate = rng.random_range(0..DATE_HI as i32 - 60);
-        vec![
+        Ok(vec![
             Value::Int(key),
-            Value::Int(parent_key(db, t.orders, rng)),
-            Value::Int(parent_key(db, t.part, rng)),
-            Value::Int(parent_key(db, t.supplier, rng)),
+            Value::Int(parent_key(db, t.orders, rng)?),
+            Value::Int(parent_key(db, t.part, rng)?),
+            Value::Int(parent_key(db, t.supplier, rng)?),
             Value::Int(rng.random_range(1..=50)),
             Value::Float(rng.random_range(900.0..100_000.0)),
             Value::Float(f64::from(rng.random_range(0..=10)) / 100.0),
@@ -146,10 +196,81 @@ fn fresh_row(tpcd: &Tpcd, db: &Database, table: TableId, key: i64, rng: &mut Std
             Value::Int(rng.random_range(0..3)),
             Value::str(format!("MODE_{}", rng.random_range(0..7))),
             Value::str(format!("LC{key}")),
-        ]
+        ])
     } else {
-        panic!("unknown table {table}");
+        Err(UpdateGenError::UnknownTable(table))
     }
+}
+
+/// Shape of a multi-epoch update stream (the warehouse driver workload).
+///
+/// Each epoch the driver derives a per-relation update percentage from the
+/// profile and the epoch number, then generates the batches against the
+/// *current* database state — so a growing database yields growing batches,
+/// exactly the statistics drift adaptive re-optimization reacts to.
+#[derive(Debug, Clone, Copy)]
+pub enum DriverProfile {
+    /// The same percentage every epoch (the paper's nightly-refresh model).
+    Steady { percent: f64 },
+    /// `base`% most epochs, `spike`% every `period`-th epoch (end-of-month
+    /// load bursts).
+    Bursty { base: f64, spike: f64, period: u64 },
+    /// Only the fact tables (`orders`, `lineitem`) are updated; dimensions
+    /// stay frozen. Models an append-mostly warehouse.
+    FactOnly { percent: f64 },
+}
+
+impl DriverProfile {
+    /// Update percentage for `table` at `epoch` (0-based).
+    pub fn percent_for(&self, tpcd: &Tpcd, table: TableId, epoch: u64) -> f64 {
+        match *self {
+            DriverProfile::Steady { percent } => percent,
+            DriverProfile::Bursty {
+                base,
+                spike,
+                period,
+            } => {
+                if period > 0 && (epoch + 1).is_multiple_of(period) {
+                    spike
+                } else {
+                    base
+                }
+            }
+            DriverProfile::FactOnly { percent } => {
+                if table == tpcd.t.orders || table == tpcd.t.lineitem {
+                    percent
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Generate one epoch's deltas under a [`DriverProfile`]. Seeds are
+/// derived from `(seed, epoch)` so every epoch gets a distinct but
+/// reproducible batch.
+pub fn epoch_updates(
+    tpcd: &Tpcd,
+    db: &Database,
+    profile: DriverProfile,
+    epoch: u64,
+    seed: u64,
+) -> Result<DeltaSet, UpdateGenError> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(epoch));
+    let mut ds = DeltaSet::new();
+    for table in tpcd.t.all() {
+        if !db.has_base(table) {
+            continue;
+        }
+        let percent = profile.percent_for(tpcd, table, epoch);
+        if percent <= 0.0 {
+            continue;
+        }
+        let batch = table_batch(tpcd, db, table, percent, &mut rng)?;
+        ds.insert(table, batch);
+    }
+    Ok(ds)
 }
 
 #[cfg(test)]
@@ -162,9 +283,9 @@ mod tests {
     fn batch_sizes_follow_two_to_one_rule() {
         let t = tpcd_catalog(0.001);
         let db = generate_database(&t, 1);
-        let ds = generate_updates(&t, &db, 10.0, 2);
+        let ds = generate_updates(&t, &db, 10.0, 2).unwrap();
         let li = ds.get(t.t.lineitem).unwrap();
-        let rows = db.base(t.t.lineitem).len() as f64;
+        let rows = db.base(t.t.lineitem).unwrap().len() as f64;
         assert_eq!(li.inserts.len(), (rows * 0.10).round() as usize);
         assert_eq!(li.deletes.len(), (rows * 0.05).round() as usize);
     }
@@ -173,9 +294,10 @@ mod tests {
     fn inserted_keys_are_fresh() {
         let t = tpcd_catalog(0.001);
         let db = generate_database(&t, 1);
-        let ds = generate_updates(&t, &db, 10.0, 2);
+        let ds = generate_updates(&t, &db, 10.0, 2).unwrap();
         let existing: std::collections::HashSet<i64> = db
             .base(t.t.orders)
+            .unwrap()
             .rows()
             .iter()
             .map(|r| r[0].as_i64().unwrap())
@@ -189,8 +311,8 @@ mod tests {
     fn inserted_fks_reference_pre_update_parents() {
         let t = tpcd_catalog(0.001);
         let db = generate_database(&t, 1);
-        let ds = generate_updates(&t, &db, 20.0, 3);
-        let n_orders = db.base(t.t.orders).len() as i64;
+        let ds = generate_updates(&t, &db, 20.0, 3).unwrap();
+        let n_orders = db.base(t.t.orders).unwrap().len() as i64;
         let pos = t
             .catalog
             .table(t.t.lineitem)
@@ -207,12 +329,12 @@ mod tests {
     fn deletes_are_distinct_existing_rows() {
         let t = tpcd_catalog(0.001);
         let db = generate_database(&t, 1);
-        let ds = generate_updates(&t, &db, 30.0, 4);
+        let ds = generate_updates(&t, &db, 30.0, 4).unwrap();
         let batch = ds.get(t.t.customer).unwrap();
         let mut seen = std::collections::HashSet::new();
         for row in &batch.deletes {
             assert!(seen.insert(row.clone()), "duplicate delete row");
-            assert!(db.base(t.t.customer).rows().contains(row));
+            assert!(db.base(t.t.customer).unwrap().rows().contains(row));
         }
     }
 
@@ -220,7 +342,55 @@ mod tests {
     fn zero_percent_yields_empty_set() {
         let t = tpcd_catalog(0.001);
         let db = generate_database(&t, 1);
-        let ds = generate_updates(&t, &db, 0.0, 5);
+        let ds = generate_updates(&t, &db, 0.0, 5).unwrap();
         assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn unknown_table_is_a_typed_error() {
+        let t = tpcd_catalog(0.001);
+        let db = generate_database(&t, 1);
+        let bogus = TableId(99);
+        assert!(matches!(
+            generate_table_update(&t, &db, bogus, 10.0, 1),
+            Err(UpdateGenError::Storage(StorageError::TableNotLoaded(id))) if id == bogus
+        ));
+    }
+
+    #[test]
+    fn fact_only_profile_freezes_dimensions() {
+        let t = tpcd_catalog(0.001);
+        let db = generate_database(&t, 1);
+        let ds = epoch_updates(&t, &db, DriverProfile::FactOnly { percent: 10.0 }, 0, 7).unwrap();
+        assert!(ds.get(t.t.lineitem).is_some());
+        assert!(ds.get(t.t.orders).is_some());
+        assert!(ds.get(t.t.customer).is_none());
+        assert!(ds.get(t.t.supplier).is_none());
+    }
+
+    #[test]
+    fn bursty_profile_spikes_on_period() {
+        let t = tpcd_catalog(0.001);
+        let profile = DriverProfile::Bursty {
+            base: 1.0,
+            spike: 20.0,
+            period: 3,
+        };
+        assert_eq!(profile.percent_for(&t, t.t.lineitem, 0), 1.0);
+        assert_eq!(profile.percent_for(&t, t.t.lineitem, 2), 20.0);
+        assert_eq!(profile.percent_for(&t, t.t.lineitem, 5), 20.0);
+    }
+
+    #[test]
+    fn epoch_updates_differ_across_epochs() {
+        let t = tpcd_catalog(0.001);
+        let db = generate_database(&t, 1);
+        let profile = DriverProfile::Steady { percent: 10.0 };
+        let e0 = epoch_updates(&t, &db, profile, 0, 7).unwrap();
+        let e1 = epoch_updates(&t, &db, profile, 1, 7).unwrap();
+        assert_ne!(
+            e0.get(t.t.lineitem).unwrap().inserts,
+            e1.get(t.t.lineitem).unwrap().inserts
+        );
     }
 }

@@ -178,7 +178,11 @@ pub fn five_agg_views(t: &mut Tpcd) -> Vec<ViewDef> {
         let out = catalog.fresh_attr();
         ViewDef::new(
             name,
-            LogicalExpr::aggregate(input, group, vec![AggSpec::new(func, ScalarExpr::Col(arg), out)]),
+            LogicalExpr::aggregate(
+                input,
+                group,
+                vec![AggSpec::new(func, ScalarExpr::Col(arg), out)],
+            ),
         )
     };
 

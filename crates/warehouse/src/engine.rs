@@ -1,0 +1,678 @@
+//! The warehouse engine: a long-lived owner of database, catalog, view set,
+//! and the current maintenance plan.
+//!
+//! Where the paper's pipeline is one-shot (`optimize()` + a single
+//! `execute_program()`), [`Warehouse`] runs *continuously*: views register
+//! and drop over time (each re-running the §6 selection over the whole
+//! set), arbitrary insert/delete batches stream in through [`Warehouse::ingest`]
+//! (mapped onto the §5.2 2n δ⁺/δ⁻ update numbering at epoch boundaries),
+//! and [`Warehouse::run_epoch`] executes the chosen shared maintenance
+//! program while persisting permanent materializations and indices across
+//! epochs. An adaptive policy re-runs the optimizer when the view set, the
+//! ingested-delta volume, or the realized-vs-estimated cost drifts past
+//! thresholds.
+
+use crate::error::WarehouseError;
+use crate::policy::{ReoptPolicy, ReoptTrigger};
+use mvmqo_core::api::{plan_maintenance, MaintenanceProblem, OptimizerReport, PlannedMaintenance};
+use mvmqo_core::cost::CostModel;
+use mvmqo_core::opt::GreedyOptions;
+use mvmqo_core::update::UpdateModel;
+use mvmqo_exec::{
+    align_rows, eval_logical, execute_epoch, index_plan_from_report, IndexPlan, RuntimeState,
+};
+use mvmqo_relalg::catalog::{Catalog, TableId};
+use mvmqo_relalg::logical::ViewDef;
+use mvmqo_relalg::tuple::{bag_eq_approx, Tuple};
+use mvmqo_storage::database::Database;
+use mvmqo_storage::delta::{DeltaBatch, DeltaSet};
+use mvmqo_storage::error::StorageError;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Everything tied to the currently selected plan. Dropped wholesale on
+/// re-optimization: the DAG (and so every node id in the program and the
+/// runtime state) is only meaningful for the view set and statistics it was
+/// built from.
+struct PlanState {
+    planned: PlannedMaintenance,
+    index_plan: IndexPlan,
+    /// Persistent materializations, indices, and hidden aggregate/distinct
+    /// support state, carried from epoch to epoch.
+    state: RuntimeState,
+    /// Epochs executed under this plan.
+    epochs_run: u64,
+}
+
+/// What one `run_epoch` did.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Engine-wide epoch number (1-based after the first epoch).
+    pub epoch: u64,
+    /// Present when this epoch began by re-running the optimizer.
+    pub replanned: Option<ReoptTrigger>,
+    /// Optimizer estimate for one maintenance cycle under the current plan.
+    pub estimated_cost: f64,
+    /// Executed (simulated-I/O) maintenance cost of this epoch.
+    pub executed_seconds: f64,
+    /// Executed setup cost (initial population; zero once state persists).
+    pub setup_seconds: f64,
+    /// Full results built during setup — zero when every maintained result
+    /// survived from the previous epoch.
+    pub setup_builds: usize,
+    /// Full results built over the whole epoch.
+    pub total_builds: usize,
+    /// Tuples ingested into this epoch's batch.
+    pub ingested_tuples: usize,
+    /// Aggregate views that fell back to recomputation (MIN/MAX deletes).
+    pub forced_recomputes: usize,
+}
+
+/// A served query: rows plus provenance and staleness.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub rows: Vec<Tuple>,
+    /// True when deltas have been ingested but not yet applied by an epoch —
+    /// the answer reflects the last refresh, not the latest ingest.
+    pub stale: bool,
+    /// True when served from the maintained materialization; false when the
+    /// engine had to recompute from base tables (no epoch run yet).
+    pub from_materialization: bool,
+}
+
+/// The long-lived warehouse engine.
+pub struct Warehouse {
+    catalog: Catalog,
+    db: Database,
+    views: Vec<ViewDef>,
+    cost_model: CostModel,
+    options: GreedyOptions,
+    policy: ReoptPolicy,
+    plan: Option<PlanState>,
+    pending: DeltaSet,
+    /// Tuples ingested since the last re-optimization (drift measure).
+    ingested_since_plan: usize,
+    view_set_dirty: bool,
+    epoch: u64,
+    history: Vec<EpochReport>,
+    /// Exponentially-weighted per-table (inserts, deletes) observed per
+    /// epoch; the update model for re-planning when no batch is pending.
+    observed: BTreeMap<TableId, (f64, f64)>,
+    /// Per-table availability (stored multiplicity + queued inserts −
+    /// queued deletes), built lazily on the first delete-bearing ingest of
+    /// an epoch and updated incrementally after — so repeated ingests pay
+    /// O(batch), not O(base table). Cleared when the epoch applies.
+    avail_cache: HashMap<TableId, HashMap<Tuple, i64>>,
+    replans: Vec<(u64, ReoptTrigger)>,
+}
+
+impl Warehouse {
+    /// Create an engine over a loaded database. Views are registered
+    /// afterwards via [`Warehouse::register_view`].
+    pub fn new(catalog: Catalog, db: Database) -> Self {
+        Warehouse {
+            catalog,
+            db,
+            views: Vec::new(),
+            cost_model: CostModel::default(),
+            options: GreedyOptions::default(),
+            policy: ReoptPolicy::default(),
+            plan: None,
+            pending: DeltaSet::new(),
+            ingested_since_plan: 0,
+            view_set_dirty: false,
+            epoch: 0,
+            history: Vec::new(),
+            observed: BTreeMap::new(),
+            avail_cache: HashMap::new(),
+            replans: Vec::new(),
+        }
+    }
+
+    pub fn with_policy(mut self, policy: ReoptPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_options(mut self, options: GreedyOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    // ==================================================================
+    // View registry
+    // ==================================================================
+
+    /// Register a view. Triggers MQO re-optimization over the whole view
+    /// set (§6: the selection is a property of the *set*, not the view).
+    pub fn register_view(&mut self, view: ViewDef) -> Result<&OptimizerReport, WarehouseError> {
+        if self.views.iter().any(|v| v.name == view.name) {
+            return Err(WarehouseError::DuplicateView(view.name));
+        }
+        view.expr
+            .validate(&self.catalog)
+            .map_err(|reason| WarehouseError::InvalidView {
+                name: view.name.clone(),
+                reason,
+            })?;
+        for t in view.expr.base_tables() {
+            self.db.base(t)?;
+        }
+        self.views.push(view);
+        self.view_set_dirty = true;
+        let trigger = if self.plan.is_none() && self.replans.is_empty() {
+            ReoptTrigger::Initial
+        } else {
+            ReoptTrigger::ViewSetChanged
+        };
+        self.replan(trigger);
+        Ok(&self.plan.as_ref().expect("just planned").planned.report)
+    }
+
+    /// Drop a view by name; re-optimizes the remaining set.
+    pub fn drop_view(&mut self, name: &str) -> Result<(), WarehouseError> {
+        let pos = self
+            .views
+            .iter()
+            .position(|v| v.name == name)
+            .ok_or_else(|| WarehouseError::UnknownView(name.to_string()))?;
+        self.views.remove(pos);
+        self.view_set_dirty = true;
+        if self.views.is_empty() {
+            self.plan = None;
+            self.view_set_dirty = false;
+        } else {
+            self.replan(ReoptTrigger::ViewSetChanged);
+        }
+        Ok(())
+    }
+
+    // ==================================================================
+    // Ingest
+    // ==================================================================
+
+    /// Accept an arbitrary insert/delete batch for one relation. The batch
+    /// is validated up front and queued; epoch execution maps all queued
+    /// batches onto the paper's 2n δ⁺/δ⁻ update numbering (§5.2). A bad
+    /// batch — wrong arity, or deletes exceeding the multiplicity that
+    /// will exist once queued inserts land — is rejected whole; the engine
+    /// state is untouched.
+    pub fn ingest(&mut self, table: TableId, batch: DeltaBatch) -> Result<usize, WarehouseError> {
+        self.db.validate_delta(table, &batch)?;
+        let n = batch.inserts.len() + batch.deletes.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        self.check_delete_multiplicity(table, &batch)?;
+        // Commit the batch to the availability cache (if built) and queue.
+        if let Some(avail) = self.avail_cache.get_mut(&table) {
+            for row in &batch.inserts {
+                *avail.entry(row.clone()).or_insert(0) += 1;
+            }
+            for row in &batch.deletes {
+                *avail.entry(row.clone()).or_insert(0) -= 1;
+            }
+        }
+        let mut merged = self.pending.get(table).cloned().unwrap_or_default();
+        merged.inserts.extend(batch.inserts);
+        merged.deletes.extend(batch.deletes);
+        self.pending.insert(table, merged);
+        self.ingested_since_plan += n;
+        Ok(n)
+    }
+
+    /// Every delete must have a matching occurrence among stored rows plus
+    /// queued inserts (minus queued deletes). Base application saturates
+    /// (`bag_minus` drops only what exists) while incremental
+    /// aggregate/distinct maintenance subtracts unconditionally, so a
+    /// phantom delete would silently corrupt maintained views. Checked
+    /// against the incremental availability cache; the batch is not yet
+    /// committed, so rejection leaves no trace.
+    fn check_delete_multiplicity(
+        &mut self,
+        table: TableId,
+        batch: &DeltaBatch,
+    ) -> Result<(), WarehouseError> {
+        if batch.deletes.is_empty() {
+            return Ok(());
+        }
+        let avail = self.ensure_avail(table)?;
+        // Simulate this batch only: inserts land before deletes (§5.2).
+        let mut delta: HashMap<&Tuple, i64> = HashMap::new();
+        for row in &batch.inserts {
+            *delta.entry(row).or_insert(0) += 1;
+        }
+        for row in &batch.deletes {
+            let e = delta.entry(row).or_insert(0);
+            *e -= 1;
+            if avail.get(row).copied().unwrap_or(0) + *e < 0 {
+                return Err(StorageError::PhantomDelete { table }.into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Build (once per epoch, on demand) the availability counts for a
+    /// table: stored multiplicities plus the already-queued batch.
+    fn ensure_avail(&mut self, table: TableId) -> Result<&HashMap<Tuple, i64>, WarehouseError> {
+        if !self.avail_cache.contains_key(&table) {
+            let mut counts: HashMap<Tuple, i64> = HashMap::new();
+            for row in self.db.base(table)?.rows() {
+                *counts.entry(row.clone()).or_insert(0) += 1;
+            }
+            if let Some(p) = self.pending.get(table) {
+                for row in &p.inserts {
+                    *counts.entry(row.clone()).or_insert(0) += 1;
+                }
+                for row in &p.deletes {
+                    *counts.entry(row.clone()).or_insert(0) -= 1;
+                }
+            }
+            self.avail_cache.insert(table, counts);
+        }
+        Ok(self.avail_cache.get(&table).expect("just built"))
+    }
+
+    // ==================================================================
+    // Epochs
+    // ==================================================================
+
+    /// Run one maintenance epoch: decide whether drift justifies
+    /// re-optimization, then execute the (possibly new) shared maintenance
+    /// program over the queued deltas, persisting materializations and
+    /// indices for the next epoch.
+    pub fn run_epoch(&mut self) -> Result<EpochReport, WarehouseError> {
+        let ingested = self.pending.total_tuples();
+        if self.views.is_empty() {
+            // Nothing to maintain: apply the deltas and move on.
+            self.db.apply_all(&self.pending)?;
+            let report = EpochReport {
+                epoch: self.epoch + 1,
+                replanned: None,
+                estimated_cost: 0.0,
+                executed_seconds: 0.0,
+                setup_seconds: 0.0,
+                setup_builds: 0,
+                total_builds: 0,
+                ingested_tuples: ingested,
+                forced_recomputes: 0,
+            };
+            self.finish_epoch(report.clone());
+            return Ok(report);
+        }
+
+        let replanned = match self.replan_trigger() {
+            Some(trigger) => {
+                self.replan(trigger);
+                Some(trigger)
+            }
+            None => None,
+        };
+
+        let plan = self.plan.as_mut().expect("views exist, so a plan exists");
+        let exec = execute_epoch(
+            &plan.planned.dag,
+            &self.catalog,
+            self.cost_model,
+            &mut self.db,
+            &self.pending,
+            &plan.planned.report.program,
+            &plan.index_plan,
+            &mut plan.state,
+        );
+        plan.epochs_run += 1;
+        let report = EpochReport {
+            epoch: self.epoch + 1,
+            replanned,
+            estimated_cost: plan.planned.report.total_cost,
+            executed_seconds: exec.maintenance_seconds,
+            setup_seconds: exec.setup_seconds,
+            setup_builds: exec.setup_builds,
+            total_builds: exec.total_builds,
+            ingested_tuples: ingested,
+            forced_recomputes: exec.forced_recomputes,
+        };
+        self.finish_epoch(report.clone());
+        Ok(report)
+    }
+
+    /// Bookkeeping common to every epoch: observed-rate EMA (tables absent
+    /// from this epoch decay toward zero rather than pinning their last
+    /// rate forever), clearing the queue and availability cache, history.
+    fn finish_epoch(&mut self, report: EpochReport) {
+        let present: BTreeSet<TableId> = self.pending.tables().collect();
+        for (t, entry) in self.observed.iter_mut() {
+            if !present.contains(t) {
+                entry.0 *= 0.5;
+                entry.1 *= 0.5;
+            }
+        }
+        for &t in &present {
+            let batch = self.pending.get(t).expect("listed table");
+            let (ins, del) = (batch.inserts.len() as f64, batch.deletes.len() as f64);
+            let entry = self.observed.entry(t).or_insert((ins, del));
+            entry.0 = 0.5 * entry.0 + 0.5 * ins;
+            entry.1 = 0.5 * entry.1 + 0.5 * del;
+        }
+        self.observed.retain(|_, (i, d)| *i >= 0.25 || *d >= 0.25);
+        self.pending = DeltaSet::new();
+        self.avail_cache.clear();
+        self.epoch += 1;
+        self.history.push(report);
+    }
+
+    /// Does current drift justify re-optimization?
+    fn replan_trigger(&self) -> Option<ReoptTrigger> {
+        if self.plan.is_none() {
+            return Some(ReoptTrigger::Initial);
+        }
+        if self.view_set_dirty {
+            return Some(ReoptTrigger::ViewSetChanged);
+        }
+        if let Some(t) = self
+            .policy
+            .delta_drift(self.ingested_since_plan as f64, self.base_rows())
+        {
+            return Some(t);
+        }
+        // The plan must have propagation steps for every pending relation;
+        // otherwise executing it would drop those deltas on the floor.
+        if !self.plan_covers_pending() {
+            return Some(ReoptTrigger::UpdateShapeChanged);
+        }
+        if let (Some(plan), Some(last)) = (self.plan.as_ref(), self.history.last()) {
+            if plan.epochs_run > 0 {
+                if let Some(t) = self
+                    .policy
+                    .cost_drift(last.executed_seconds, last.estimated_cost)
+                {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    fn plan_covers_pending(&self) -> bool {
+        let Some(plan) = self.plan.as_ref() else {
+            return false;
+        };
+        let covered: Vec<TableId> = plan
+            .planned
+            .report
+            .program
+            .steps
+            .iter()
+            .map(|s| s.update.table)
+            .collect();
+        self.pending.tables().all(|t| covered.contains(&t))
+    }
+
+    /// Re-run the MQO selection over the whole current view set, with
+    /// catalog statistics refreshed from the live database and an update
+    /// model estimated from the pending batch (or the observed per-epoch
+    /// rates when the queue is empty).
+    fn replan(&mut self, trigger: ReoptTrigger) {
+        // Statistics drift: fold live row counts back into the catalog.
+        let live: Vec<(TableId, f64)> = self
+            .catalog
+            .tables()
+            .iter()
+            .map(|t| t.id)
+            .filter(|id| self.db.has_base(*id))
+            .map(|id| (id, self.db.live_stats(&self.catalog, id).rows))
+            .collect();
+        for (id, rows) in live {
+            self.catalog.set_row_count(id, rows);
+        }
+
+        let updates = self.update_model();
+        let problem = {
+            let mut p =
+                MaintenanceProblem::new(self.views.clone(), updates).with_pk_indices(&self.catalog);
+            p.cost_model = self.cost_model;
+            p.options = self.options;
+            p
+        };
+        let planned = plan_maintenance(&mut self.catalog, &problem);
+        let index_plan = index_plan_from_report(&problem.initial_indices, &planned.report);
+        self.plan = Some(PlanState {
+            planned,
+            index_plan,
+            state: RuntimeState::new(),
+            epochs_run: 0,
+        });
+        self.ingested_since_plan = 0;
+        self.view_set_dirty = false;
+        self.replans.push((self.epoch, trigger));
+    }
+
+    /// Per-table (inserts, deletes) estimate for the next cycles: pending
+    /// batch sizes where available, otherwise the observed EMA.
+    fn update_model(&self) -> UpdateModel {
+        let mut per_table: BTreeMap<TableId, (f64, f64)> = self.observed.clone();
+        for t in self.pending.tables() {
+            let b = self.pending.get(t).expect("listed table");
+            per_table.insert(t, (b.inserts.len() as f64, b.deletes.len() as f64));
+        }
+        UpdateModel::new(per_table.into_iter().map(|(t, (i, d))| (t, i, d)))
+    }
+
+    fn base_rows(&self) -> f64 {
+        self.catalog
+            .tables()
+            .iter()
+            .filter(|t| self.db.has_base(t.id))
+            .map(|t| self.db.base(t.id).map_or(0, |s| s.len()) as f64)
+            .sum()
+    }
+
+    // ==================================================================
+    // Queries
+    // ==================================================================
+
+    /// Serve a view's current contents. Reads come from the maintained
+    /// materialization when one exists (and are flagged stale if deltas
+    /// have been ingested since the last epoch); before the first epoch
+    /// the engine recomputes from base tables.
+    pub fn query(&self, name: &str) -> Result<QueryResult, WarehouseError> {
+        let view = self
+            .views
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| WarehouseError::UnknownView(name.to_string()))?;
+        let stale = !self.pending.is_empty();
+        if let Some(plan) = self.plan.as_ref() {
+            if let Some(root) = mvmqo_exec::view_root(&plan.planned.report.program, name) {
+                if let Some(rows) = plan.state.mat_rows(root) {
+                    // Stored rows use the DAG node's canonical column order;
+                    // serve them in the view's declared schema so both
+                    // provenances agree.
+                    let rows = align_rows(
+                        rows.to_vec(),
+                        &plan.planned.dag.eq(root).schema,
+                        &view.expr.schema(&self.catalog),
+                    );
+                    return Ok(QueryResult {
+                        rows,
+                        stale,
+                        from_materialization: true,
+                    });
+                }
+            }
+        }
+        let rows = eval_logical(&view.expr, &self.catalog, &self.db);
+        Ok(QueryResult {
+            rows,
+            stale,
+            from_materialization: false,
+        })
+    }
+
+    /// Consistency check: the maintained materialization must equal
+    /// recomputation from the current base tables, as multisets. Trivially
+    /// true when nothing is materialized yet. With ingested-but-unapplied
+    /// deltas the check is skipped (the materialization legitimately lags).
+    pub fn verify(&self, name: &str) -> Result<bool, WarehouseError> {
+        let view = self
+            .views
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| WarehouseError::UnknownView(name.to_string()))?;
+        if !self.pending.is_empty() {
+            return Ok(true);
+        }
+        let Some(plan) = self.plan.as_ref() else {
+            return Ok(true);
+        };
+        let Some(root) = mvmqo_exec::view_root(&plan.planned.report.program, name) else {
+            return Ok(true);
+        };
+        let Some(stored) = plan.state.mat_rows(root) else {
+            return Ok(true);
+        };
+        let expected = eval_logical(&view.expr, &self.catalog, &self.db);
+        let expected = align_rows(
+            expected,
+            &view.expr.schema(&self.catalog),
+            &plan.planned.dag.eq(root).schema,
+        );
+        Ok(bag_eq_approx(stored, &expected, 1e-9))
+    }
+
+    /// Human-readable description of the current plan and policy state.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "epoch {}  views {}  pending tuples {}  replans {}\n",
+            self.epoch,
+            self.views.len(),
+            self.pending.total_tuples(),
+            self.replans.len()
+        ));
+        match self.plan.as_ref() {
+            None => out.push_str("no plan (no views registered)\n"),
+            Some(plan) => {
+                let r = &plan.planned.report;
+                out.push_str(&format!(
+                    "estimated cycle cost {:.2}s (NoGreedy baseline {:.2}s), planned in {:?}\n",
+                    r.total_cost, r.nogreedy_cost, r.optimization_time
+                ));
+                out.push_str(&format!(
+                    "epochs under this plan: {}, persisted results: {} ({} tuples)\n",
+                    plan.epochs_run,
+                    plan.state.mat_count(),
+                    plan.state.total_tuples()
+                ));
+                for m in &r.chosen_mats {
+                    out.push_str(&format!(
+                        "  mat [{}] {} ({:?}, benefit {:.2})\n",
+                        if m.permanent { "perm" } else { "temp" },
+                        m.description,
+                        m.strategy,
+                        m.benefit
+                    ));
+                }
+                for i in &r.chosen_indices {
+                    out.push_str(&format!(
+                        "  idx [{}] {:?} on {} (benefit {:.2})\n",
+                        if i.permanent { "perm" } else { "temp" },
+                        i.target,
+                        i.attr,
+                        i.benefit
+                    ));
+                }
+                for (name, strategy, cost) in &r.view_strategies {
+                    out.push_str(&format!("  view {name}: {strategy:?} ({cost:.2}s)\n"));
+                }
+            }
+        }
+        if let Some((epoch, trigger)) = self.replans.last() {
+            out.push_str(&format!(
+                "last re-optimization at epoch {epoch}: {trigger}\n"
+            ));
+        }
+        out
+    }
+
+    // ==================================================================
+    // Introspection (tests, CLI, benchmarks)
+    // ==================================================================
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn views(&self) -> &[ViewDef] {
+        &self.views
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Allocate a derived attribute from the engine's catalog (aggregate
+    /// outputs of views built by external frontends, e.g. the CLI). Views
+    /// must use attribute ids from *this* allocator so they never collide
+    /// with ids the optimizer derives internally.
+    pub fn fresh_attr(&mut self) -> mvmqo_relalg::schema::AttrId {
+        self.catalog.fresh_attr()
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn pending_tuples(&self) -> usize {
+        self.pending.total_tuples()
+    }
+
+    /// The queued (not yet applied) batch for one relation, if any.
+    /// Frontends that *generate* batches use this to avoid sampling
+    /// deletes or reissuing keys that are already queued.
+    pub fn pending_for(&self, table: TableId) -> Option<&DeltaBatch> {
+        self.pending.get(table)
+    }
+
+    /// Observed per-epoch (inserts, deletes) rates — the EMA feeding the
+    /// update model at re-plan time. Rates of idle tables decay each epoch.
+    pub fn observed_rates(&self) -> &BTreeMap<TableId, (f64, f64)> {
+        &self.observed
+    }
+
+    pub fn history(&self) -> &[EpochReport] {
+        &self.history
+    }
+
+    /// `(epoch, trigger)` of every re-optimization so far.
+    pub fn replans(&self) -> &[(u64, ReoptTrigger)] {
+        &self.replans
+    }
+
+    /// The current optimizer report, if any view is registered.
+    pub fn current_report(&self) -> Option<&OptimizerReport> {
+        self.plan.as_ref().map(|p| &p.planned.report)
+    }
+
+    /// Sorted descriptions of the currently selected set `X` — the extra
+    /// materializations and indices the greedy phase chose (§6 keeps both
+    /// kinds of candidate in one set). This is the quantity adaptive
+    /// re-optimization changes.
+    pub fn mat_set(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(r) = self.current_report() {
+            out.extend(r.chosen_mats.iter().map(|m| m.description.clone()));
+            out.extend(
+                r.chosen_indices
+                    .iter()
+                    .map(|i| format!("index on {:?}.{}", i.target, i.attr)),
+            );
+        }
+        out.sort();
+        out
+    }
+}

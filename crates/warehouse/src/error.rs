@@ -1,0 +1,45 @@
+//! Typed warehouse errors.
+//!
+//! A long-lived engine must never abort on bad input: registering a
+//! malformed view, ingesting a batch for an unknown table, or querying a
+//! view that was never registered all surface as [`WarehouseError`] and
+//! leave the engine fully usable.
+
+use mvmqo_storage::error::StorageError;
+use std::fmt;
+
+/// Errors raised by the [`crate::Warehouse`] API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarehouseError {
+    /// No registered view with this name.
+    UnknownView(String),
+    /// A view with this name is already registered.
+    DuplicateView(String),
+    /// The view expression failed validation against the catalog.
+    InvalidView { name: String, reason: String },
+    /// A storage-layer failure (unknown table, malformed batch, ...).
+    Storage(StorageError),
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::UnknownView(name) => write!(f, "unknown view {name:?}"),
+            WarehouseError::DuplicateView(name) => {
+                write!(f, "view {name:?} is already registered")
+            }
+            WarehouseError::InvalidView { name, reason } => {
+                write!(f, "invalid view {name:?}: {reason}")
+            }
+            WarehouseError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {}
+
+impl From<StorageError> for WarehouseError {
+    fn from(e: StorageError) -> Self {
+        WarehouseError::Storage(e)
+    }
+}

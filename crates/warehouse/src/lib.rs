@@ -1,0 +1,32 @@
+//! # mvmqo-warehouse
+//!
+//! A stateful warehouse engine on top of the `mvmqo` reproduction of
+//! *Materialized View Selection and Maintenance Using Multi-Query
+//! Optimization* (SIGMOD 2001).
+//!
+//! The paper optimizes the maintenance of a fixed view set once, offline.
+//! This crate runs the same machinery *continuously*:
+//!
+//! * [`Warehouse`] — owns the database, catalog, view set, and the current
+//!   optimizer plan; `register_view`/`drop_view` re-run the §6 selection
+//!   over the whole set, `ingest` queues arbitrary δ⁺/δ⁻ batches (§5.2's
+//!   2n update numbering), `run_epoch` executes the shared maintenance
+//!   program while persisting permanent materializations and indices
+//!   across epochs, and `query`/`verify` serve views with staleness and
+//!   consistency checks;
+//! * [`policy`] — adaptive re-optimization: re-plan on view-set changes,
+//!   cumulative delta drift, update-shape changes, or realized-vs-estimated
+//!   cost divergence;
+//! * [`script`] — a tiny script/REPL language over the TPC-D substrate so
+//!   new warehouse scenarios can be driven without writing Rust (the
+//!   `warehouse` binary).
+
+pub mod engine;
+pub mod error;
+pub mod policy;
+pub mod script;
+
+pub use engine::{EpochReport, QueryResult, Warehouse};
+pub use error::WarehouseError;
+pub use policy::{ReoptPolicy, ReoptTrigger};
+pub use script::Session;

@@ -1,0 +1,124 @@
+//! Adaptive re-optimization policy.
+//!
+//! The paper solves the selection problem once, offline. A running
+//! warehouse drifts away from the plan's assumptions in three ways: the
+//! view set changes (§6 requires re-running the selection over the *whole*
+//! set), the cumulative ingested deltas change table statistics, and the
+//! realized epoch cost diverges from the optimizer's estimate. The policy
+//! decides when that drift justifies paying the optimization cost again.
+
+use std::fmt;
+
+/// Why the engine re-ran the MQO selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReoptTrigger {
+    /// First plan for this view set.
+    Initial,
+    /// A view was registered or dropped since the last plan.
+    ViewSetChanged,
+    /// Tuples ingested since the last plan exceeded the policy's fraction
+    /// of the stored base rows.
+    DeltaDrift { fraction: f64 },
+    /// The pending deltas touch a relation the current program has no
+    /// propagation steps for — the plan cannot apply them.
+    UpdateShapeChanged,
+    /// Last epoch's executed cost diverged from the estimate by more than
+    /// the policy's ratio.
+    CostDrift { ratio: f64 },
+}
+
+impl fmt::Display for ReoptTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReoptTrigger::Initial => f.write_str("initial plan"),
+            ReoptTrigger::ViewSetChanged => f.write_str("view set changed"),
+            ReoptTrigger::DeltaDrift { fraction } => {
+                write!(f, "delta drift ({:.1}% of base rows)", fraction * 100.0)
+            }
+            ReoptTrigger::UpdateShapeChanged => f.write_str("update shape changed"),
+            ReoptTrigger::CostDrift { ratio } => {
+                write!(f, "cost drift (executed/estimated = {ratio:.2})")
+            }
+        }
+    }
+}
+
+/// Thresholds for adaptive re-optimization.
+#[derive(Debug, Clone, Copy)]
+pub struct ReoptPolicy {
+    /// Re-plan when tuples ingested since the last plan exceed this
+    /// fraction of the stored base rows (statistics drift).
+    pub delta_fraction: f64,
+    /// Re-plan when the last epoch's executed cost exceeds the estimate by
+    /// this factor (model drift). One-sided deliberately: an epoch *cheaper*
+    /// than estimated is the normal case when a small batch runs under a
+    /// plan made for a larger one, and re-planning would discard the
+    /// persisted materializations for no benefit.
+    pub cost_ratio: f64,
+}
+
+impl Default for ReoptPolicy {
+    fn default() -> Self {
+        ReoptPolicy {
+            delta_fraction: 0.25,
+            cost_ratio: 10.0,
+        }
+    }
+}
+
+impl ReoptPolicy {
+    /// Statistics-drift check: ingested tuples vs stored base rows.
+    pub fn delta_drift(&self, ingested: f64, base_rows: f64) -> Option<ReoptTrigger> {
+        if base_rows <= 0.0 {
+            return None;
+        }
+        let fraction = ingested / base_rows;
+        (fraction >= self.delta_fraction).then_some(ReoptTrigger::DeltaDrift { fraction })
+    }
+
+    /// Model-drift check: realized vs estimated epoch cost. Fires only
+    /// when execution was *more* expensive than promised.
+    pub fn cost_drift(&self, executed: f64, estimated: f64) -> Option<ReoptTrigger> {
+        if estimated <= 0.0 || executed <= 0.0 {
+            return None;
+        }
+        let ratio = executed / estimated;
+        (ratio >= self.cost_ratio).then_some(ReoptTrigger::CostDrift { ratio })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_drift_fires_at_threshold() {
+        let p = ReoptPolicy {
+            delta_fraction: 0.2,
+            cost_ratio: 10.0,
+        };
+        assert!(p.delta_drift(10.0, 100.0).is_none());
+        assert!(matches!(
+            p.delta_drift(20.0, 100.0),
+            Some(ReoptTrigger::DeltaDrift { .. })
+        ));
+        assert!(p.delta_drift(20.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn cost_drift_fires_only_on_overruns() {
+        let p = ReoptPolicy {
+            delta_fraction: 0.2,
+            cost_ratio: 4.0,
+        };
+        assert!(p.cost_drift(2.0, 1.0).is_none());
+        assert!(matches!(
+            p.cost_drift(5.0, 1.0),
+            Some(ReoptTrigger::CostDrift { .. })
+        ));
+        // Cheaper than estimated (a small batch under a big-batch plan) is
+        // the normal case — must not thrash the plan.
+        assert!(p.cost_drift(1.0, 5.0).is_none());
+        assert!(p.cost_drift(0.0, 1.0).is_none());
+    }
+}

@@ -1,0 +1,543 @@
+//! Script/REPL frontend: drive warehouse scenarios without writing Rust.
+//!
+//! A [`Session`] wraps a [`Warehouse`] over the TPC-D substrate and
+//! executes one command per line:
+//!
+//! ```text
+//! view V = lineitem * orders * customer where o_orderdate < 400
+//! view R = lineitem * orders group o_custkey sum l_extendedprice
+//! ingest lineitem 10        # 10% inserts + 5% deletes on one relation
+//! ingest all 5              # one batch per relation
+//! epoch                     # run a maintenance epoch
+//! query V                   # row count + staleness
+//! verify V                  # compare materialization vs recomputation
+//! drop V
+//! explain                   # current plan, policy counters
+//! tables                    # stored relations and row counts
+//! ```
+//!
+//! Lines starting with `#` (and blank lines) are ignored, so scenario
+//! files double as documented experiments. Errors are returned as text —
+//! a bad command never kills the session.
+
+use crate::engine::Warehouse;
+use crate::policy::ReoptPolicy;
+use mvmqo_relalg::agg::{AggFunc, AggSpec};
+use mvmqo_relalg::catalog::TableId;
+use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
+use mvmqo_relalg::logical::{LogicalExpr, ViewDef};
+use mvmqo_relalg::schema::AttrId;
+use mvmqo_relalg::types::{DataType, Value};
+use mvmqo_tpcd::{generate_database, generate_table_update, tpcd_catalog, Tpcd};
+use std::sync::Arc;
+
+/// An interactive (or scripted) warehouse session over TPC-D.
+pub struct Session {
+    /// TPC-D handles for the data/update generators. Holds its own catalog
+    /// copy (`tpcd_catalog` is deterministic, so table/attribute ids match
+    /// the engine's); the engine owns the authoritative one.
+    tpcd: Tpcd,
+    pub warehouse: Warehouse,
+    seed: u64,
+    /// Monotone counter so repeated `ingest` lines draw distinct batches.
+    ingests: u64,
+}
+
+impl Session {
+    /// Generate a TPC-D instance at `sf` and wrap it in a warehouse.
+    pub fn new(sf: f64, seed: u64) -> Self {
+        let tpcd = tpcd_catalog(sf);
+        let db = generate_database(&tpcd, seed);
+        let engine_catalog = tpcd_catalog(sf).catalog;
+        Session {
+            tpcd,
+            warehouse: Warehouse::new(engine_catalog, db),
+            seed,
+            ingests: 0,
+        }
+    }
+
+    pub fn with_policy(mut self, policy: ReoptPolicy) -> Self {
+        self.warehouse = self.warehouse.with_policy(policy);
+        self
+    }
+
+    /// Execute one command line; returns printable output. Errors come
+    /// back as `Err(text)` and leave the session usable.
+    pub fn exec_line(&mut self, line: &str) -> Result<String, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(String::new());
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words[0] {
+            "view" => self.cmd_view(line),
+            "ingest" => self.cmd_ingest(&words),
+            "epoch" => self.cmd_epoch(),
+            "query" => self.cmd_query(&words),
+            "verify" => self.cmd_verify(&words),
+            "drop" => self.cmd_drop(&words),
+            "explain" => Ok(self.warehouse.explain()),
+            "tables" => Ok(self.cmd_tables()),
+            "help" => Ok(HELP.to_string()),
+            other => Err(format!("unknown command {other:?} (try `help`)")),
+        }
+    }
+
+    // ==================================================================
+    // Commands
+    // ==================================================================
+
+    /// `view NAME = T1 * T2 [* ...] [where COL <op> N] [group COL sum COL]`
+    fn cmd_view(&mut self, line: &str) -> Result<String, String> {
+        let rest = line.strip_prefix("view").unwrap().trim();
+        let (name, spec) = rest
+            .split_once('=')
+            .ok_or("usage: view NAME = T1 * T2 [where COL < N] [group COL sum COL]")?;
+        let name = name.trim().to_string();
+        if name.is_empty() {
+            return Err("view name must not be empty".into());
+        }
+
+        // Split off trailing `group ... sum ...` and `where ...` clauses.
+        let mut spec = spec.trim();
+        let mut group_clause = None;
+        if let Some((head, group)) = split_clause(spec, "group") {
+            spec = head;
+            group_clause = Some(group);
+        }
+        let mut where_clause = None;
+        if let Some((head, w)) = split_clause(spec, "where") {
+            spec = head;
+            where_clause = Some(w);
+        }
+
+        let tables = self.parse_chain(spec)?;
+        let mut expr = self.join_chain(&tables)?;
+        if let Some(w) = where_clause {
+            let pred = self.parse_where(&tables, &w)?;
+            expr = LogicalExpr::select(expr, pred);
+        }
+        if let Some(g) = group_clause {
+            expr = self.parse_group(&tables, expr, &g)?;
+        }
+        let view = ViewDef::new(name.clone(), expr);
+        let report = self
+            .warehouse
+            .register_view(view)
+            .map_err(|e| e.to_string())?;
+        Ok(format!(
+            "registered {name}; re-optimized {} views: cost {:.2}s ({} extra mats, {} extra indices)",
+            report.program.views.len(),
+            report.total_cost,
+            report.chosen_mats.len(),
+            report.chosen_indices.len()
+        ))
+    }
+
+    /// `ingest TABLE PCT` or `ingest all PCT`.
+    fn cmd_ingest(&mut self, words: &[&str]) -> Result<String, String> {
+        let [_, target, pct] = words else {
+            return Err("usage: ingest <table|all> <percent>".into());
+        };
+        let pct: f64 = pct.parse().map_err(|_| format!("bad percentage {pct:?}"))?;
+        let tables: Vec<TableId> = if *target == "all" {
+            self.tpcd.t.all().to_vec()
+        } else {
+            vec![self.lookup_table(target)?]
+        };
+        let mut total = 0usize;
+        for t in tables {
+            self.ingests += 1;
+            let mut batch = generate_table_update(
+                &self.tpcd,
+                self.warehouse.database(),
+                t,
+                pct,
+                self.seed.wrapping_add(self.ingests),
+            )
+            .map_err(|e| e.to_string())?;
+            // The generator samples against the *stored* table; consecutive
+            // ingests before an epoch must not re-delete queued deletes or
+            // reissue queued primary keys.
+            if let Some(pending) = self.warehouse.pending_for(t) {
+                let queued: std::collections::HashSet<&[Value]> =
+                    pending.deletes.iter().map(Vec::as_slice).collect();
+                batch.deletes.retain(|r| !queued.contains(r.as_slice()));
+                if let Some(next_key) = pending
+                    .inserts
+                    .iter()
+                    .filter_map(|r| r.first().and_then(Value::as_i64))
+                    .max()
+                    .map(|m| m + 1)
+                {
+                    for (i, row) in batch.inserts.iter_mut().enumerate() {
+                        row[0] = Value::Int(next_key + i as i64);
+                    }
+                }
+            }
+            total += self.warehouse.ingest(t, batch).map_err(|e| e.to_string())?;
+        }
+        Ok(format!(
+            "queued {total} tuples ({} pending)",
+            self.warehouse.pending_tuples()
+        ))
+    }
+
+    fn cmd_epoch(&mut self) -> Result<String, String> {
+        let r = self.warehouse.run_epoch().map_err(|e| e.to_string())?;
+        let replan = match r.replanned {
+            Some(t) => format!("re-optimized ({t}); "),
+            None => String::new(),
+        };
+        Ok(format!(
+            "epoch {}: {replan}applied {} tuples in {:.2}s (estimate {:.2}s, setup {:.2}s, {} rebuilds)",
+            r.epoch,
+            r.ingested_tuples,
+            r.executed_seconds,
+            r.estimated_cost,
+            r.setup_seconds,
+            r.setup_builds,
+        ))
+    }
+
+    fn cmd_query(&mut self, words: &[&str]) -> Result<String, String> {
+        let Some(name) = words.get(1) else {
+            return Err("usage: query NAME".into());
+        };
+        let q = self.warehouse.query(name).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "{name}: {} rows ({}{})",
+            q.rows.len(),
+            if q.from_materialization {
+                "materialized"
+            } else {
+                "recomputed"
+            },
+            if q.stale { ", stale" } else { "" }
+        ))
+    }
+
+    fn cmd_verify(&mut self, words: &[&str]) -> Result<String, String> {
+        let Some(name) = words.get(1) else {
+            return Err("usage: verify NAME".into());
+        };
+        let ok = self.warehouse.verify(name).map_err(|e| e.to_string())?;
+        if ok {
+            Ok(format!("{name}: consistent with recomputation"))
+        } else {
+            Err(format!("{name}: MISMATCH against recomputation"))
+        }
+    }
+
+    fn cmd_drop(&mut self, words: &[&str]) -> Result<String, String> {
+        let Some(name) = words.get(1) else {
+            return Err("usage: drop NAME".into());
+        };
+        self.warehouse.drop_view(name).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "dropped {name}; {} views remain",
+            self.warehouse.views().len()
+        ))
+    }
+
+    fn cmd_tables(&self) -> String {
+        let mut out = String::new();
+        for def in self.tpcd.catalog.tables() {
+            let rows = self
+                .warehouse
+                .database()
+                .base(def.id)
+                .map_or(0, |t| t.len());
+            out.push_str(&format!("{:<10} {:>8} rows\n", def.name, rows));
+        }
+        out
+    }
+
+    // ==================================================================
+    // Parsing helpers
+    // ==================================================================
+
+    fn lookup_table(&self, name: &str) -> Result<TableId, String> {
+        self.tpcd
+            .catalog
+            .table_by_name(name)
+            .map(|d| d.id)
+            .ok_or_else(|| format!("unknown table {name:?}"))
+    }
+
+    /// `T1 * T2 * T3` → table ids.
+    fn parse_chain(&self, spec: &str) -> Result<Vec<TableId>, String> {
+        let tables: Vec<TableId> = spec
+            .split('*')
+            .map(|t| self.lookup_table(t.trim()))
+            .collect::<Result<_, _>>()?;
+        if tables.is_empty() {
+            return Err("at least one table required".into());
+        }
+        Ok(tables)
+    }
+
+    /// Left-deep FK join of the chain: each new table must share a declared
+    /// foreign key with some table already joined.
+    fn join_chain(&self, tables: &[TableId]) -> Result<Arc<LogicalExpr>, String> {
+        let mut expr = LogicalExpr::scan(tables[0]);
+        let mut joined = vec![tables[0]];
+        for &next in &tables[1..] {
+            let mut conjuncts = Vec::new();
+            for &prev in &joined {
+                conjuncts.extend(self.fk_conjuncts(prev, next));
+            }
+            if conjuncts.is_empty() {
+                return Err(format!(
+                    "no foreign-key join path from {{{}}} to {}",
+                    joined
+                        .iter()
+                        .map(|t| self.tpcd.catalog.table(*t).name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    self.tpcd.catalog.table(next).name
+                ));
+            }
+            expr = LogicalExpr::join(
+                expr,
+                LogicalExpr::scan(next),
+                Predicate::from_conjuncts(conjuncts),
+            );
+            joined.push(next);
+        }
+        Ok(expr)
+    }
+
+    /// Equality conjuncts from any declared FK between `a` and `b` (either
+    /// direction).
+    fn fk_conjuncts(&self, a: TableId, b: TableId) -> Vec<ScalarExpr> {
+        let mut out = Vec::new();
+        for (child, parent) in [(a, b), (b, a)] {
+            for fk in &self.tpcd.catalog.table(child).foreign_keys {
+                if fk.parent_table == parent {
+                    for (c, p) in fk.child_attrs.iter().zip(&fk.parent_attrs) {
+                        out.push(ScalarExpr::col_eq_col(*c, *p));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Resolve a (possibly qualified) column name within the chain tables.
+    fn lookup_column(&self, tables: &[TableId], col: &str) -> Result<(AttrId, DataType), String> {
+        for &t in tables {
+            let def = self.tpcd.catalog.table(t);
+            for attr in def.schema.attrs() {
+                if attr.name == col || attr.name.ends_with(&format!(".{col}")) {
+                    return Ok((attr.id, attr.data_type));
+                }
+            }
+        }
+        Err(format!("no column {col:?} in the joined tables"))
+    }
+
+    /// `COL < N`, `COL > N`, `COL = N`.
+    fn parse_where(&self, tables: &[TableId], clause: &str) -> Result<Predicate, String> {
+        let words: Vec<&str> = clause.split_whitespace().collect();
+        let [col, op, value] = words[..] else {
+            return Err("usage: where COL <|>|= VALUE".into());
+        };
+        let (attr, dt) = self.lookup_column(tables, col)?;
+        let op = match op {
+            "<" => CmpOp::Lt,
+            ">" => CmpOp::Gt,
+            "=" => CmpOp::Eq,
+            "<=" => CmpOp::Le,
+            ">=" => CmpOp::Ge,
+            other => return Err(format!("unsupported operator {other:?}")),
+        };
+        let value = parse_value(value, dt)?;
+        Ok(Predicate::from_expr(ScalarExpr::col_cmp_lit(
+            attr, op, value,
+        )))
+    }
+
+    /// `COL sum COL` — group by the first column, SUM + COUNT the second.
+    fn parse_group(
+        &mut self,
+        tables: &[TableId],
+        input: Arc<LogicalExpr>,
+        clause: &str,
+    ) -> Result<Arc<LogicalExpr>, String> {
+        let words: Vec<&str> = clause.split_whitespace().collect();
+        let [group_col, "sum", sum_col] = words[..] else {
+            return Err("usage: group COL sum COL".into());
+        };
+        let (group_attr, _) = self.lookup_column(tables, group_col)?;
+        let (sum_attr, _) = self.lookup_column(tables, sum_col)?;
+        let sum_out = self.warehouse.fresh_attr();
+        let cnt_out = self.warehouse.fresh_attr();
+        Ok(LogicalExpr::aggregate(
+            input,
+            vec![group_attr],
+            vec![
+                AggSpec::new(AggFunc::Sum, ScalarExpr::Col(sum_attr), sum_out),
+                AggSpec::new(AggFunc::Count, ScalarExpr::Col(sum_attr), cnt_out),
+            ],
+        ))
+    }
+}
+
+/// Split `spec` at the last top-level occurrence of ` keyword `; returns
+/// (head, tail-after-keyword).
+fn split_clause<'a>(spec: &'a str, keyword: &str) -> Option<(&'a str, String)> {
+    let needle = format!(" {keyword} ");
+    spec.rfind(&needle).map(|i| {
+        (
+            spec[..i].trim(),
+            spec[i + needle.len()..].trim().to_string(),
+        )
+    })
+}
+
+fn parse_value(text: &str, dt: DataType) -> Result<Value, String> {
+    match dt {
+        DataType::Int => text
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("bad integer {text:?}")),
+        DataType::Date => text
+            .parse::<i32>()
+            .map(Value::Date)
+            .map_err(|_| format!("bad date (days since epoch) {text:?}")),
+        DataType::Float => text
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("bad float {text:?}")),
+        DataType::Str => Ok(Value::str(text)),
+        DataType::Bool => match text {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => Err(format!("bad boolean {text:?}")),
+        },
+    }
+}
+
+pub const HELP: &str = "\
+commands:
+  view NAME = T1 * T2 [* ...] [where COL <op> N] [group COL sum COL]
+      register a view (FK-joined chain); re-optimizes the whole view set
+  drop NAME                 unregister a view; re-optimizes the rest
+  ingest <table|all> PCT    queue PCT% inserts + PCT/2% deletes
+  epoch                     run one maintenance epoch
+  query NAME                row count + staleness of a view
+  verify NAME               check materialization against recomputation
+  explain                   current plan, costs, re-optimization history
+  tables                    stored relations and row counts
+  help                      this text
+  # ...                     comment
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session::new(0.001, 42)
+    }
+
+    #[test]
+    fn view_register_ingest_epoch_query_roundtrip() {
+        let mut s = session();
+        let out = s
+            .exec_line("view locs = lineitem * orders * customer where o_orderdate < 1200")
+            .unwrap();
+        assert!(out.contains("registered locs"), "{out}");
+        s.exec_line("ingest all 10").unwrap();
+        let out = s.exec_line("epoch").unwrap();
+        assert!(out.contains("epoch 1"), "{out}");
+        let out = s.exec_line("query locs").unwrap();
+        assert!(out.contains("materialized"), "{out}");
+        let out = s.exec_line("verify locs").unwrap();
+        assert!(out.contains("consistent"), "{out}");
+    }
+
+    #[test]
+    fn aggregate_views_parse_and_verify() {
+        let mut s = session();
+        s.exec_line("view rev = lineitem * orders group o_custkey sum l_extendedprice")
+            .unwrap();
+        s.exec_line("ingest lineitem 10").unwrap();
+        s.exec_line("ingest orders 10").unwrap();
+        s.exec_line("epoch").unwrap();
+        let out = s.exec_line("verify rev").unwrap();
+        assert!(out.contains("consistent"), "{out}");
+    }
+
+    #[test]
+    fn quiet_epochs_do_not_thrash_the_plan() {
+        // Under the *default* policy, epochs much cheaper than the plan's
+        // estimate (tiny or empty batches) must not trigger cost-drift
+        // replans that would discard the persisted state.
+        let mut s = session();
+        s.exec_line("view v = lineitem * orders").unwrap();
+        s.exec_line("ingest all 10").unwrap();
+        s.exec_line("epoch").unwrap();
+        let replans = s.warehouse.replans().len();
+        s.exec_line("epoch").unwrap(); // empty epoch
+        s.exec_line("ingest all 1").unwrap();
+        s.exec_line("epoch").unwrap(); // far cheaper than estimated
+        assert_eq!(
+            s.warehouse.replans().len(),
+            replans,
+            "cheap epochs must not replan"
+        );
+        assert_eq!(s.warehouse.history().last().unwrap().setup_builds, 0);
+    }
+
+    #[test]
+    fn consecutive_ingests_before_one_epoch_stay_consistent() {
+        // Regression: two generated batches used to overlap on deletes
+        // (and reuse insert keys), corrupting maintained aggregates.
+        let mut s = session();
+        s.exec_line("view rev = lineitem * orders group o_custkey sum l_extendedprice")
+            .unwrap();
+        s.exec_line("ingest all 2").unwrap();
+        s.exec_line("ingest all 2").unwrap();
+        s.exec_line("ingest lineitem 3").unwrap();
+        s.exec_line("epoch").unwrap();
+        let out = s.exec_line("verify rev").unwrap();
+        assert!(out.contains("consistent"), "{out}");
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_session() {
+        let mut s = session();
+        assert!(s.exec_line("view bad = lineitem * region").is_err()); // no FK path
+        assert!(s.exec_line("ingest nosuch 5").is_err());
+        assert!(s.exec_line("query ghost").is_err());
+        assert!(s.exec_line("frobnicate").is_err());
+        // Still fully usable afterwards.
+        s.exec_line("view ok = lineitem * orders").unwrap();
+        s.exec_line("ingest all 5").unwrap();
+        s.exec_line("epoch").unwrap();
+        assert!(s.exec_line("verify ok").unwrap().contains("consistent"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut s = session();
+        assert_eq!(s.exec_line("# a comment").unwrap(), "");
+        assert_eq!(s.exec_line("   ").unwrap(), "");
+        assert!(s.exec_line("help").unwrap().contains("commands"));
+    }
+
+    #[test]
+    fn drop_reoptimizes_remaining_views() {
+        let mut s = session();
+        s.exec_line("view a = lineitem * orders").unwrap();
+        s.exec_line("view b = lineitem * orders * customer")
+            .unwrap();
+        let n = s.warehouse.replans().len();
+        s.exec_line("drop a").unwrap();
+        assert_eq!(s.warehouse.views().len(), 1);
+        assert_eq!(s.warehouse.replans().len(), n + 1);
+    }
+}

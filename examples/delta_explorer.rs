@@ -25,8 +25,7 @@ fn main() {
     let (dag, _) = mvmqo_core::api::build_dag(&mut tpcd.catalog, &views);
     let root = dag.roots()[0].eq;
     let tables = view.expr.base_tables();
-    let updates =
-        UpdateModel::percentage(tables, 10.0, |id| tpcd.catalog.table(id).stats.rows);
+    let updates = UpdateModel::percentage(tables, 10.0, |id| tpcd.catalog.table(id).stats.rows);
     let mut mats = MatSet::default();
     mats.full.insert(root);
     for (t, a) in tpcd.pk_indices() {
@@ -34,13 +33,7 @@ fn main() {
     }
     mats.indices
         .insert((StoredRef::Mat(root), dag.eq(root).schema.ids()[0]));
-    let engine = CostEngine::new(
-        &dag,
-        &tpcd.catalog,
-        &updates,
-        CostModel::default(),
-        mats,
-    );
+    let engine = CostEngine::new(&dag, &tpcd.catalog, &updates, CostModel::default(), mats);
 
     println!("\nper-update differentials of the view (10% update cycle):");
     for step in updates.steps() {

@@ -27,15 +27,14 @@ fn main() {
     }
 
     // 3. A 10% update cycle (10% inserts + 5% deletes per relation, §7.1).
-    let deltas = generate_updates(&tpcd, &db, 10.0, 7);
+    let deltas = generate_updates(&tpcd, &db, 10.0, 7).expect("tpcd tables loaded");
     let updates = UpdateModel::new(deltas.tables().map(|t| {
         let b = deltas.get(t).unwrap();
         (t, b.inserts.len() as f64, b.deletes.len() as f64)
     }));
 
     // 4. Optimize: greedy selection of extra views/indices + plans.
-    let problem =
-        MaintenanceProblem::new(views.clone(), updates).with_pk_indices(&tpcd.catalog);
+    let problem = MaintenanceProblem::new(views.clone(), updates).with_pk_indices(&tpcd.catalog);
     let initial_indices = problem.initial_indices.clone();
     let report = optimize(&mut tpcd.catalog, &problem);
     println!(
@@ -80,6 +79,10 @@ fn main() {
         );
         let got = exec.view_rows.get(&v.name).unwrap();
         assert!(bag_eq(got, &expected), "view {} diverged!", v.name);
-        println!("  view {}: {} rows, matches recomputation ✓", v.name, got.len());
+        println!(
+            "  view {}: {} rows, matches recomputation ✓",
+            v.name,
+            got.len()
+        );
     }
 }

@@ -32,10 +32,8 @@ fn main() {
             t.dedup();
             t
         };
-        let updates =
-            UpdateModel::percentage(tables, 5.0, |id| tpcd.catalog.table(id).stats.rows);
-        let mut problem =
-            MaintenanceProblem::new(views, updates).with_pk_indices(&tpcd.catalog);
+        let updates = UpdateModel::percentage(tables, 5.0, |id| tpcd.catalog.table(id).stats.rows);
+        let mut problem = MaintenanceProblem::new(views, updates).with_pk_indices(&tpcd.catalog);
         problem.options = GreedyOptions {
             space_budget_blocks: budget,
             ..Default::default()

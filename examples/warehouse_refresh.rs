@@ -1,88 +1,85 @@
-//! Warehouse nightly refresh: the paper's headline scenario (§1).
+//! Continuous warehouse refresh: the paper's headline scenario (§1), run as
+//! a *living* system instead of a one-shot batch.
 //!
-//! Ten materialized views over TPC-D; a nightly batch of updates arrives;
-//! the maintenance window is shrinking. Compare the refresh under the
-//! Greedy optimizer (shared subexpressions temporarily materialized, extra
-//! permanent views/indices selected) against the NoGreedy baseline
-//! (per-view choice of recompute vs incremental only), both as optimizer
-//! estimates and as executed (simulated-I/O) costs.
+//! Ten materialized views over TPC-D are registered with the warehouse
+//! engine; update batches then stream in epoch after epoch (a bursty
+//! profile — small trickle loads with a periodic spike). Each epoch
+//! executes the optimizer-chosen shared maintenance program, reusing the
+//! permanent materializations and indices persisted from earlier epochs;
+//! the adaptive policy re-runs the MQO selection when the ingested-delta
+//! volume or the realized cost drifts from the plan's assumptions.
 //!
 //! ```text
-//! cargo run -p mvmqo-examples --bin warehouse_refresh [update_percent]
+//! cargo run -p mvmqo-examples --bin warehouse_refresh [epochs] [update_percent]
 //! ```
 
-use mvmqo_core::api::{optimize, MaintenanceProblem};
-use mvmqo_core::opt::{GreedyOptions, Mode};
-use mvmqo_core::update::UpdateModel;
-use mvmqo_exec::{execute_program, index_plan_from_report};
-use mvmqo_tpcd::{generate_database, generate_updates, ten_views, tpcd_catalog};
+use mvmqo_tpcd::{epoch_updates, generate_database, ten_views, tpcd_catalog, DriverProfile};
+use mvmqo_warehouse::{ReoptPolicy, Warehouse};
 
 fn main() {
-    let percent: f64 = std::env::args()
+    let epochs: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let percent: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
         .unwrap_or(5.0);
-    println!("nightly refresh at {percent}% updates (ten TPC-D views)\n");
+    println!("continuous refresh: {epochs} epochs, ~{percent}% updates (ten TPC-D views)\n");
 
-    let mut results = Vec::new();
-    for mode in [Mode::Greedy, Mode::NoGreedy] {
-        let mut tpcd = tpcd_catalog(0.002);
-        let mut db = generate_database(&tpcd, 11);
-        let views = ten_views(&tpcd);
-        let deltas = generate_updates(&tpcd, &db, percent, 23);
-        let updates = UpdateModel::new(deltas.tables().map(|t| {
-            let b = deltas.get(t).unwrap();
-            (t, b.inserts.len() as f64, b.deletes.len() as f64)
-        }));
-        let mut problem =
-            MaintenanceProblem::new(views.clone(), updates).with_pk_indices(&tpcd.catalog);
-        problem.options = GreedyOptions {
-            mode,
-            ..Default::default()
-        };
-        let initial_indices = problem.initial_indices.clone();
-        let report = optimize(&mut tpcd.catalog, &problem);
-        let (dag, _) = mvmqo_core::api::build_dag(&mut tpcd.catalog, &views);
-        let index_plan = index_plan_from_report(&initial_indices, &report);
-        let exec = execute_program(
-            &dag,
-            &tpcd.catalog,
-            problem.cost_model,
-            &mut db,
-            &deltas,
-            &report.program,
-            &index_plan,
-        );
-        println!("== {mode:?}");
+    // Generator-side TPC-D handles and the engine's own catalog copy
+    // (tpcd_catalog is deterministic, so ids line up).
+    let tpcd = tpcd_catalog(0.002);
+    let db = generate_database(&tpcd, 11);
+    let views = ten_views(&tpcd);
+    let mut wh = Warehouse::new(tpcd_catalog(0.002).catalog, db).with_policy(ReoptPolicy {
+        delta_fraction: 0.10,
+        cost_ratio: 10.0,
+    });
+
+    for v in views {
+        let name = v.name.clone();
+        let report = wh.register_view(v).expect("valid TPC-D view");
         println!(
-            "  estimated plan cost : {:>9.2}s   (optimization took {:?})",
-            report.total_cost, report.optimization_time
+            "registered {name:<18} → plan cost {:.2}s, {} extra mats",
+            report.total_cost,
+            report.chosen_mats.len()
         );
-        println!(
-            "  executed cost       : {:>9.2}s   ({} tuples, {} blocks, {} random pages)",
-            exec.maintenance_seconds,
-            exec.maintenance_meter.tuples_processed,
-            exec.maintenance_meter.blocks_io,
-            exec.maintenance_meter.random_pages,
-        );
-        println!(
-            "  extra materializations: {} ({} permanent), extra indices: {}",
-            report.chosen_mats.len(),
-            report
-                .chosen_mats
-                .iter()
-                .filter(|m| m.permanent)
-                .count(),
-            report.chosen_indices.len()
-        );
-        results.push((mode, report.total_cost, exec.maintenance_seconds));
-        println!();
     }
-    let (_, g_est, g_exec) = results[0];
-    let (_, n_est, n_exec) = results[1];
-    println!(
-        "speedup from multi-query optimization: estimated {:.2}x, executed {:.2}x",
-        n_est / g_est.max(1e-9),
-        n_exec / g_exec.max(1e-9)
-    );
+    println!();
+
+    let profile = DriverProfile::Bursty {
+        base: percent,
+        spike: percent * 4.0,
+        period: 3,
+    };
+    for epoch in 0..epochs {
+        let deltas =
+            epoch_updates(&tpcd, wh.database(), profile, epoch, 23).expect("tpcd tables loaded");
+        let tables: Vec<_> = deltas.tables().collect();
+        for t in tables {
+            let batch = deltas.get(t).unwrap().clone();
+            wh.ingest(t, batch).expect("valid generated batch");
+        }
+        let r = wh.run_epoch().expect("epoch over registered views");
+        println!(
+            "epoch {}: {:>6} tuples in, executed {:>8.2}s (estimate {:>8.2}s), setup rebuilds {}{}",
+            r.epoch,
+            r.ingested_tuples,
+            r.executed_seconds,
+            r.estimated_cost,
+            r.setup_builds,
+            match r.replanned {
+                Some(t) => format!("  [re-optimized: {t}]"),
+                None => String::new(),
+            }
+        );
+    }
+
+    println!("\n{}", wh.explain());
+    for v in wh.views().to_vec() {
+        let ok = wh.verify(&v.name).expect("registered view");
+        assert!(ok, "view {} diverged from recomputation", v.name);
+    }
+    println!("all views verified against recomputation after {epochs} epochs");
 }

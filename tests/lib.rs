@@ -141,10 +141,10 @@ pub fn generate_deltas(world: &SmallWorld, percent: f64, seed: u64) -> DeltaSet 
     let mut ds = DeltaSet::new();
     for (t, fk_parent_rows) in [
         (world.a, None),
-        (world.b, Some(world.db.base(world.a).len())),
-        (world.c, Some(world.db.base(world.b).len())),
+        (world.b, Some(world.db.base(world.a).unwrap().len())),
+        (world.c, Some(world.db.base(world.b).unwrap().len())),
     ] {
-        let table = world.db.base(t);
+        let table = world.db.base(t).unwrap();
         let rows = table.len();
         let ins_n = ((rows as f64) * percent / 100.0).round() as usize;
         let del_n = ((rows as f64) * percent / 200.0).round() as usize;
@@ -223,11 +223,7 @@ pub fn optimize_execute_verify(
         let expected_schema = v.expr.schema(&world.catalog);
         let view_schema = dag.eq(root).schema.clone();
         expected = mvmqo_exec::align_rows(expected, &expected_schema, &view_schema);
-        let got = exec
-            .view_rows
-            .get(&v.name)
-            .cloned()
-            .unwrap_or_default();
+        let got = exec.view_rows.get(&v.name).cloned().unwrap_or_default();
         assert!(
             bag_eq_approx(&got, &expected, 1e-9),
             "view {} mismatch: incremental {} rows vs recomputed {} rows",

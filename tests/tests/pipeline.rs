@@ -4,9 +4,7 @@
 //! and view shapes.
 
 use mvmqo_core::opt::{GreedyOptions, Mode};
-use mvmqo_integration_tests::{
-    generate_deltas, optimize_execute_verify, small_world, SmallWorld,
-};
+use mvmqo_integration_tests::{generate_deltas, optimize_execute_verify, small_world, SmallWorld};
 use mvmqo_relalg::agg::{AggFunc, AggSpec};
 use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
 use mvmqo_relalg::logical::{LogicalExpr, ViewDef};
@@ -146,12 +144,8 @@ fn greedy_estimate_never_exceeds_nogreedy() {
         let v1 = join_view(&world, "v_all");
         let v2 = selective_join_view(&world, "v_sel", 5);
         let deltas = generate_deltas(&world, pct, 21);
-        let (report, _) = optimize_execute_verify(
-            &mut world,
-            vec![v1, v2],
-            &deltas,
-            GreedyOptions::default(),
-        );
+        let (report, _) =
+            optimize_execute_verify(&mut world, vec![v1, v2], &deltas, GreedyOptions::default());
         assert!(
             report.total_cost <= report.nogreedy_cost + 1e-6,
             "at {pct}%: greedy {} > nogreedy {}",

@@ -210,7 +210,7 @@ proptest! {
         let deltas = generate_deltas(&world, percent as f64, seed);
         let m = update_model_for(&deltas);
         for t in [world.a, world.b, world.c] {
-            let base = world.db.base(t).len() as f64;
+            let base = world.db.base(t).unwrap().len() as f64;
             let mut expect = base;
             for step in m.steps() {
                 // rows_at reports the state *before* this step is applied.

@@ -24,7 +24,7 @@ fn run_and_verify(
     pk_indices: bool,
 ) {
     let mut db = generate_database(tpcd, seed);
-    let deltas = generate_updates(tpcd, &db, percent, seed + 1);
+    let deltas = generate_updates(tpcd, &db, percent, seed + 1).unwrap();
     let updates = UpdateModel::new(deltas.tables().map(|t| {
         let b = deltas.get(t).unwrap();
         (t, b.inserts.len() as f64, b.deletes.len() as f64)
@@ -162,7 +162,7 @@ fn fk_pruning_is_exact_on_tpcd_data() {
     let mut t = tpcd_catalog(SF);
     let views = mvmqo_tpcd::single_join_view(&t);
     let db = generate_database(&t, 200);
-    let deltas = generate_updates(&t, &db, 10.0, 201);
+    let deltas = generate_updates(&t, &db, 10.0, 201).unwrap();
     let updates = UpdateModel::new(deltas.tables().map(|tb| {
         let b = deltas.get(tb).unwrap();
         (tb, b.inserts.len() as f64, b.deletes.len() as f64)
@@ -180,5 +180,8 @@ fn fk_pruning_is_exact_on_tpcd_data() {
         }
     }
     // customer, orders, supplier inserts are all FK-prunable for this view.
-    assert!(pruned >= 2, "expected ≥2 pruned parent-insert deltas, got {pruned}");
+    assert!(
+        pruned >= 2,
+        "expected ≥2 pruned parent-insert deltas, got {pruned}"
+    );
 }

@@ -1,0 +1,389 @@
+//! Multi-epoch warehouse integration tests: the continuous-maintenance
+//! engine run over TPC-D data for several epochs, verifying after *every*
+//! epoch that every view is tuple-identical to recomputation, that
+//! permanent materializations and indices survive across epochs without
+//! being rebuilt, and that drift-triggered re-optimization actually changes
+//! the selected materialization set.
+
+use mvmqo_relalg::catalog::TableId;
+use mvmqo_storage::delta::DeltaBatch;
+use mvmqo_storage::error::StorageError;
+use mvmqo_tpcd::schema::Tpcd;
+use mvmqo_tpcd::{
+    epoch_updates, five_agg_views, five_join_views, generate_database, tpcd_catalog, DriverProfile,
+};
+use mvmqo_warehouse::{ReoptPolicy, ReoptTrigger, Warehouse, WarehouseError};
+
+const SF: f64 = 0.001;
+
+/// Generator-side TPC-D handles plus a warehouse whose catalog is the
+/// *same* construction (deterministic ids).
+fn setup(seed: u64) -> (Tpcd, Warehouse) {
+    let tpcd = tpcd_catalog(SF);
+    let db = generate_database(&tpcd, seed);
+    let wh = Warehouse::new(tpcd_catalog(SF).catalog, db);
+    (tpcd, wh)
+}
+
+fn ingest_epoch(tpcd: &Tpcd, wh: &mut Warehouse, percent: f64, epoch: u64, seed: u64) -> usize {
+    let deltas = epoch_updates(
+        tpcd,
+        wh.database(),
+        DriverProfile::Steady { percent },
+        epoch,
+        seed,
+    )
+    .unwrap();
+    let tables: Vec<TableId> = deltas.tables().collect();
+    let mut total = 0;
+    for t in tables {
+        total += wh.ingest(t, deltas.get(t).unwrap().clone()).unwrap();
+    }
+    total
+}
+
+fn verify_all(wh: &Warehouse) {
+    for v in wh.views().to_vec() {
+        assert!(
+            wh.verify(&v.name).unwrap(),
+            "view {} diverged from recomputation at epoch {}",
+            v.name,
+            wh.epoch()
+        );
+    }
+}
+
+/// The acceptance scenario: ≥3 views, ≥4 distinct update batches with an
+/// epoch after each, checking (a) correctness after every epoch, (b)
+/// persistence of materializations across epochs, (c) a drift-triggered
+/// re-optimization that changes the materialization set.
+#[test]
+fn multi_epoch_maintenance_with_adaptive_reoptimization() {
+    let (tpcd, mut wh) = setup(301);
+    let mut wh = {
+        wh = wh.with_policy(ReoptPolicy {
+            delta_fraction: 0.10,
+            // Effectively disable cost-drift so the test exercises delta
+            // drift deterministically.
+            cost_ratio: 1e12,
+        });
+        wh
+    };
+
+    // Register five shared-subexpression views (including the subsumption
+    // pair); each registration re-runs the selection over the whole set.
+    let views = five_join_views(&tpcd);
+    for v in views {
+        wh.register_view(v).unwrap();
+    }
+    assert_eq!(wh.views().len(), 5);
+    assert_eq!(
+        wh.replans().len(),
+        5,
+        "one re-optimization per registration"
+    );
+    // No updates observed yet, so the initial plan has nothing to maintain
+    // and selects no extra materializations or indices.
+    let initial_mats = wh.mat_set();
+
+    // Epoch 1: a large batch (12% inserts + 6% deletes ≈ 18% of base rows)
+    // exceeds the 10% drift threshold → drift-triggered re-optimization.
+    ingest_epoch(&tpcd, &mut wh, 12.0, 0, 77);
+    let r1 = wh.run_epoch().unwrap();
+    assert!(
+        matches!(r1.replanned, Some(ReoptTrigger::DeltaDrift { .. })),
+        "expected delta-drift re-optimization, got {:?}",
+        r1.replanned
+    );
+    let drifted_mats = wh.mat_set();
+    assert_ne!(
+        initial_mats, drifted_mats,
+        "drift-triggered re-optimization must change the selected set"
+    );
+    assert!(
+        !drifted_mats.is_empty(),
+        "a ~12% update workload over shared views should justify extra \
+         materializations/indices"
+    );
+    assert!(
+        r1.total_builds > 0,
+        "first epoch under a plan builds results"
+    );
+    verify_all(&wh);
+
+    // Epochs 2–4: small distinct batches below the drift threshold. The
+    // plan (and its permanent materializations, indices, and hidden
+    // aggregate state) must survive with no setup rebuilds.
+    let mats_before = wh.current_report().unwrap().chosen_mats.len();
+    for (i, pct) in [2.0, 1.5, 1.5].into_iter().enumerate() {
+        let ingested = ingest_epoch(&tpcd, &mut wh, pct, (i + 1) as u64, 77);
+        assert!(ingested > 0, "epoch batch {i} must be non-empty");
+        let r = wh.run_epoch().unwrap();
+        assert!(
+            r.replanned.is_none(),
+            "no re-optimization expected at epoch {}, got {:?}",
+            r.epoch,
+            r.replanned
+        );
+        assert_eq!(
+            r.setup_builds, 0,
+            "epoch {} rebuilt persisted materializations",
+            r.epoch
+        );
+        assert!(
+            (r.setup_seconds - 0.0).abs() < 1e-12,
+            "epoch {} paid setup cost {:.4}s despite persisted state",
+            r.epoch,
+            r.setup_seconds
+        );
+        verify_all(&wh);
+    }
+    assert_eq!(
+        wh.current_report().unwrap().chosen_mats.len(),
+        mats_before,
+        "plan must be unchanged across non-drifting epochs"
+    );
+    assert_eq!(wh.epoch(), 4);
+    assert_eq!(wh.history().len(), 4);
+}
+
+/// N consecutive epochs over aggregate views: the hidden per-group
+/// accumulator state must survive across epochs and keep every view
+/// tuple-identical to recomputation.
+#[test]
+fn aggregate_views_stay_exact_across_epochs() {
+    let mut tpcd = tpcd_catalog(SF);
+    // Aggregate views allocate output attributes from this catalog, which
+    // is then donated to the engine so ids stay consistent.
+    let views = five_agg_views(&mut tpcd);
+    let db = generate_database(&tpcd, 404);
+    let t = tpcd.t;
+    let sf = tpcd.sf;
+    let mut wh = Warehouse::new(tpcd.catalog, db);
+    let gen_tpcd = Tpcd {
+        catalog: tpcd_catalog(SF).catalog,
+        t,
+        sf,
+    };
+    for v in views {
+        wh.register_view(v).unwrap();
+    }
+    for epoch in 0..4u64 {
+        ingest_epoch(&gen_tpcd, &mut wh, 4.0, epoch, 19);
+        wh.run_epoch().unwrap();
+        verify_all(&wh);
+    }
+}
+
+/// Registering and dropping views mid-stream re-optimizes the remaining
+/// set and keeps serving correct answers.
+#[test]
+fn view_churn_reoptimizes_and_stays_correct() {
+    let (tpcd, wh) = setup(512);
+    let mut wh = wh.with_policy(ReoptPolicy {
+        delta_fraction: 0.25,
+        cost_ratio: 1e12,
+    });
+    let views = five_join_views(&tpcd);
+    let names: Vec<String> = views.iter().map(|v| v.name.clone()).collect();
+    for v in views {
+        wh.register_view(v).unwrap();
+    }
+    ingest_epoch(&tpcd, &mut wh, 5.0, 0, 3);
+    wh.run_epoch().unwrap();
+    verify_all(&wh);
+
+    wh.drop_view(&names[0]).unwrap();
+    assert_eq!(wh.views().len(), 4);
+    assert!(matches!(
+        wh.replans().last(),
+        Some((_, ReoptTrigger::ViewSetChanged))
+    ));
+    ingest_epoch(&tpcd, &mut wh, 5.0, 1, 3);
+    let r = wh.run_epoch().unwrap();
+    // The post-drop plan was made while deltas from epoch 0 were already
+    // applied; the next epoch runs under it without further replanning
+    // (batch below drift threshold).
+    assert!(r.replanned.is_none());
+    verify_all(&wh);
+
+    assert!(matches!(
+        wh.query(&names[0]),
+        Err(WarehouseError::UnknownView(_))
+    ));
+    let q = wh.query(&names[1]).unwrap();
+    assert!(q.from_materialization);
+    assert!(!q.stale);
+}
+
+/// Bad input must surface typed errors and leave the engine fully usable —
+/// the satellite requirement that replaced the storage/tpcd panics.
+#[test]
+fn bad_batches_do_not_abort_the_engine() {
+    let (tpcd, mut wh) = setup(99);
+    for v in five_join_views(&tpcd).into_iter().take(3) {
+        wh.register_view(v).unwrap();
+    }
+
+    // Unknown table: typed error.
+    let bogus = TableId(77);
+    assert!(matches!(
+        wh.ingest(bogus, DeltaBatch::new(vec![vec![]], vec![])),
+        Err(WarehouseError::Storage(StorageError::TableNotLoaded(t))) if t == bogus
+    ));
+
+    // Arity mismatch: rejected whole, nothing queued.
+    let bad = DeltaBatch::new(vec![vec![mvmqo_relalg::types::Value::Int(1)]], vec![]);
+    assert!(matches!(
+        wh.ingest(tpcd.t.lineitem, bad),
+        Err(WarehouseError::Storage(StorageError::ArityMismatch { .. }))
+    ));
+    assert_eq!(wh.pending_tuples(), 0);
+
+    // Duplicate and invalid view registrations: typed errors.
+    let dup = five_join_views(&tpcd).remove(0);
+    assert!(matches!(
+        wh.register_view(dup),
+        Err(WarehouseError::DuplicateView(_))
+    ));
+    assert!(matches!(
+        wh.drop_view("no_such_view"),
+        Err(WarehouseError::UnknownView(_))
+    ));
+
+    // The engine still ingests and refreshes normally afterwards.
+    ingest_epoch(&tpcd, &mut wh, 8.0, 0, 5);
+    wh.run_epoch().unwrap();
+    verify_all(&wh);
+}
+
+/// Deletes beyond the available multiplicity (phantom deletes, or the
+/// same row deleted by two queued batches) must be rejected at ingest:
+/// base application would saturate while incremental aggregate state
+/// subtracts unconditionally, silently corrupting maintained views.
+#[test]
+fn phantom_and_duplicate_deletes_are_rejected_at_ingest() {
+    let (tpcd, mut wh) = setup(777);
+    for v in five_join_views(&tpcd).into_iter().take(3) {
+        wh.register_view(v).unwrap();
+    }
+    let li = tpcd.t.lineitem;
+    let existing = wh.database().base(li).unwrap().rows()[0].clone();
+
+    // A row that was never stored.
+    let mut phantom = existing.clone();
+    phantom[0] = mvmqo_relalg::types::Value::Int(-1);
+    assert!(matches!(
+        wh.ingest(li, DeltaBatch::new(vec![], vec![phantom])),
+        Err(WarehouseError::Storage(StorageError::PhantomDelete { table })) if table == li
+    ));
+
+    // The same stored row deleted by two separate batches.
+    wh.ingest(li, DeltaBatch::new(vec![], vec![existing.clone()]))
+        .unwrap();
+    let before = wh.pending_tuples();
+    assert!(matches!(
+        wh.ingest(li, DeltaBatch::new(vec![], vec![existing.clone()])),
+        Err(WarehouseError::Storage(StorageError::PhantomDelete { .. }))
+    ));
+    assert_eq!(wh.pending_tuples(), before, "rejected batch must not queue");
+
+    // Deleting a row that a *queued insert* provides is legitimate
+    // (inserts land before deletes within the epoch).
+    let mut fresh = existing.clone();
+    fresh[0] = mvmqo_relalg::types::Value::Int(10_000_000);
+    wh.ingest(li, DeltaBatch::new(vec![fresh.clone()], vec![]))
+        .unwrap();
+    wh.ingest(li, DeltaBatch::new(vec![], vec![fresh])).unwrap();
+
+    wh.run_epoch().unwrap();
+    verify_all(&wh);
+}
+
+/// `query` must serve the same column order whether it recomputes or
+/// reads the maintained materialization.
+#[test]
+fn query_column_order_is_stable_across_provenance() {
+    let (tpcd, mut wh) = setup(888);
+    let v = five_join_views(&tpcd).remove(0);
+    let name = v.name.clone();
+    wh.register_view(v).unwrap();
+
+    let recomputed = wh.query(&name).unwrap();
+    assert!(!recomputed.from_materialization);
+
+    wh.run_epoch().unwrap();
+    let materialized = wh.query(&name).unwrap();
+    assert!(materialized.from_materialization);
+
+    // No deltas were applied, so contents are identical — including order
+    // of columns within every tuple.
+    let mut a = recomputed.rows;
+    let mut b = materialized.rows;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "column order/contents differ between provenances");
+}
+
+/// Observed update rates must decay for tables that stop receiving
+/// updates, so re-planning doesn't forever cost maintenance steps for
+/// updates that no longer arrive.
+#[test]
+fn observed_rates_decay_for_idle_tables() {
+    let (tpcd, mut wh) = setup(55);
+    wh.register_view(five_join_views(&tpcd).remove(0)).unwrap();
+
+    // One epoch touching every table, then fact-only epochs.
+    ingest_epoch(&tpcd, &mut wh, 10.0, 0, 77);
+    wh.run_epoch().unwrap();
+    let cust = tpcd.t.customer;
+    let initial = wh.observed_rates().get(&cust).copied().unwrap();
+    assert!(initial.0 > 0.0);
+
+    for epoch in 1..=3u64 {
+        let deltas = epoch_updates(
+            &tpcd,
+            wh.database(),
+            DriverProfile::FactOnly { percent: 4.0 },
+            epoch,
+            77,
+        )
+        .unwrap();
+        let tables: Vec<TableId> = deltas.tables().collect();
+        for t in tables {
+            wh.ingest(t, deltas.get(t).unwrap().clone()).unwrap();
+        }
+        wh.run_epoch().unwrap();
+    }
+    match wh.observed_rates().get(&cust) {
+        None => {} // fully decayed out
+        Some(rate) => assert!(
+            rate.0 < initial.0 / 4.0,
+            "idle table's observed rate must decay: {initial:?} → {rate:?}"
+        ),
+    }
+}
+
+/// Queries flag staleness between ingest and epoch, and clear it after.
+#[test]
+fn staleness_is_tracked_across_ingest_and_epoch() {
+    let (tpcd, mut wh) = setup(640);
+    let v = five_join_views(&tpcd).remove(2);
+    let name = v.name.clone();
+    wh.register_view(v).unwrap();
+
+    // Before any epoch: served by recomputation, not stale.
+    let q = wh.query(&name).unwrap();
+    assert!(!q.from_materialization);
+    assert!(!q.stale);
+
+    ingest_epoch(&tpcd, &mut wh, 6.0, 0, 11);
+    let q = wh.query(&name).unwrap();
+    assert!(q.stale, "pending deltas must flag the answer stale");
+
+    wh.run_epoch().unwrap();
+    let q = wh.query(&name).unwrap();
+    assert!(q.from_materialization);
+    assert!(!q.stale);
+    assert!(!q.rows.is_empty());
+}
