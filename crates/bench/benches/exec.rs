@@ -1,0 +1,94 @@
+//! Executor benchmarks: hash join, aggregation, bag operations, and a full
+//! maintenance epoch — the perf trajectory of the vectorized batch engine.
+//!
+//! Each operator benchmark has a `rows_*` companion that replicates the
+//! pre-vectorization executor's row-at-a-time algorithm (clone every input
+//! row, allocate a `Vec<Value>` key per probe, build each output row as a
+//! fresh `Vec`), so the batch engine's speedup is measured in-tree.
+//!
+//! The epoch benchmark runs the five-join-view TPC-D workload at sf 0.1
+//! (sf 0.01 in `--test` smoke mode so CI stays fast) through the real
+//! warehouse epoch path, serially and under the parallel scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvmqo_bench::exec_workloads::{
+    bag_fixture, exec_fixture, rows_agg, rows_join, run_agg, run_join, EpochFixture,
+};
+use mvmqo_relalg::tuple::{bag_counts, bag_minus};
+use std::hint::black_box;
+
+const DIM_ROWS: usize = 20_000;
+const FACT_ROWS: usize = 200_000;
+const EPOCH_PCT: f64 = 5.0;
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec");
+    g.sample_size(10);
+    let mut fixture = exec_fixture(DIM_ROWS, FACT_ROWS);
+
+    // Correctness pin before timing anything: the engine and the row
+    // baseline must agree on output cardinality.
+    let batch_out = run_join(&mut fixture);
+    assert_eq!(batch_out, rows_join(&fixture), "join baselines disagree");
+    let agg_out = run_agg(&mut fixture);
+    assert_eq!(agg_out, rows_agg(&fixture), "agg baselines disagree");
+
+    g.bench_function("hash_join_batch", |b| {
+        b.iter(|| black_box(run_join(&mut fixture)))
+    });
+    g.bench_function("hash_join_rows_baseline", |b| {
+        b.iter(|| black_box(rows_join(&fixture)))
+    });
+    g.bench_function("aggregation_batch", |b| {
+        b.iter(|| black_box(run_agg(&mut fixture)))
+    });
+    g.bench_function("aggregation_rows_baseline", |b| {
+        b.iter(|| black_box(rows_agg(&fixture)))
+    });
+    g.finish();
+}
+
+fn bench_bag_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bag");
+    g.sample_size(10);
+    let (a, b_side) = bag_fixture(100_000);
+    // Micro-asserts: the single-allocation rewrite must keep multiset
+    // semantics (checked every sample, not just once).
+    g.bench_function("bag_minus_100k", |bch| {
+        bch.iter(|| {
+            let d = bag_minus(&a, &b_side);
+            assert_eq!(d.len(), a.len() - b_side.len());
+            black_box(d.len())
+        })
+    });
+    g.bench_function("bag_counts_100k", |bch| {
+        bch.iter(|| {
+            let counts = bag_counts(&a);
+            assert_eq!(counts.values().sum::<i64>() as usize, a.len());
+            black_box(counts.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let sf = if smoke_mode() { 0.01 } else { 0.1 };
+    let mut g = c.benchmark_group(format!("epoch_sf{sf}"));
+    g.sample_size(10);
+    let mut serial = EpochFixture::new(sf, false);
+    g.bench_function("five_join_serial", |b| {
+        b.iter(|| black_box(serial.step(EPOCH_PCT)))
+    });
+    let mut parallel = EpochFixture::new(sf, true);
+    g.bench_function("five_join_parallel", |b| {
+        b.iter(|| black_box(parallel.step(EPOCH_PCT)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_bag_ops, bench_epoch);
+criterion_main!(benches);

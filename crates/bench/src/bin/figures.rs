@@ -3,12 +3,20 @@
 //! ```text
 //! figures [section]
 //!   fig3a | fig3b | fig4a | fig4b | fig5a | fig5b
-//!   opt-time | temp-vs-perm | buffer | ablation | all (default)
+//!   opt-time | temp-vs-perm | buffer | ablation | exec-bench | all (default)
 //! ```
+//!
+//! `exec-bench` measures the vectorized executor (hash join, aggregation,
+//! full maintenance epochs at TPC-D sf 0.1 — override with
+//! `MVMQO_EXEC_BENCH_SF`) against the row-at-a-time baselines and writes
+//! `BENCH_exec.json`, the perf-trajectory record for this repository.
 //!
 //! Output is the series the paper plots: estimated maintenance plan cost
 //! ("Plan Cost (sec)") for NoGreedy vs Greedy across update percentages.
 
+use mvmqo_bench::exec_workloads::{
+    bag_fixture, exec_fixture, rows_agg, rows_join, run_agg, run_join, EpochFixture,
+};
 use mvmqo_bench::{
     format_series, run_point, run_series, temp_vs_perm, ExperimentConfig, Workload, PAPER_PERCENTS,
 };
@@ -143,6 +151,9 @@ fn main() {
             }
         }
     }
+    if all || section == "exec-bench" {
+        exec_bench();
+    }
     if all || section == "ablation" {
         println!("== Ablation: optimizer configuration (ten views, 5% updates)");
         let configs: [(&str, GreedyOptions); 4] = [
@@ -189,5 +200,98 @@ fn main() {
                 r.optimization_time
             );
         }
+    }
+}
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Pre-vectorization (PR 2, commit f3d04d1) executor medians on this
+/// workload, measured on the same container before the batch engine
+/// landed — the "before" of the before/after record in `BENCH_exec.json`.
+/// The in-tree `rows_*` baselines replicate that executor's algorithms so
+/// the comparison stays reproducible as hardware changes.
+const PRE_PR_HASH_JOIN_MS: f64 = 88.4;
+const PRE_PR_AGGREGATION_MS: f64 = 50.1;
+const PRE_PR_EPOCH_SF01_MS: f64 = 6954.0;
+
+/// Measure the executor and write `BENCH_exec.json`.
+fn exec_bench() {
+    println!("== Executor benchmarks (vectorized batch engine)");
+    let sf: f64 = std::env::var("MVMQO_EXEC_BENCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
+    let mut fixture = exec_fixture(20_000, 200_000);
+
+    // Pin correctness before timing.
+    assert_eq!(run_join(&mut fixture), rows_join(&fixture));
+    assert_eq!(run_agg(&mut fixture), rows_agg(&fixture));
+
+    let join_batch = median_ms(5, || {
+        run_join(&mut fixture);
+    });
+    let join_rows = median_ms(5, || {
+        rows_join(&fixture);
+    });
+    let agg_batch = median_ms(5, || {
+        run_agg(&mut fixture);
+    });
+    let agg_rows = median_ms(5, || {
+        rows_agg(&fixture);
+    });
+    let (a, b) = bag_fixture(100_000);
+    let bag_ms = median_ms(5, || {
+        let d = mvmqo_relalg::tuple::bag_minus(&a, &b);
+        assert_eq!(d.len(), a.len() - b.len());
+    });
+
+    let mut serial = EpochFixture::new(sf, false);
+    serial.step(5.0); // setup epoch, untimed
+    let epoch_serial = median_ms(3, || {
+        serial.step(5.0);
+    });
+    let mut parallel = EpochFixture::new(sf, true);
+    parallel.step(5.0);
+    let epoch_parallel = median_ms(3, || {
+        parallel.step(5.0);
+    });
+
+    println!(
+        "hash join    : batch {join_batch:.1} ms vs rows {join_rows:.1} ms ({:.2}x)",
+        join_rows / join_batch
+    );
+    println!(
+        "aggregation  : batch {agg_batch:.1} ms vs rows {agg_rows:.1} ms ({:.2}x)",
+        agg_rows / agg_batch
+    );
+    println!("bag_minus    : {bag_ms:.1} ms (100k tuples)");
+    println!(
+        "epoch sf{sf}  : serial {epoch_serial:.0} ms, parallel {epoch_parallel:.0} ms \
+         ({:.2}x vs pre-PR {PRE_PR_EPOCH_SF01_MS:.0} ms)",
+        PRE_PR_EPOCH_SF01_MS / epoch_serial
+    );
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"generated_by\": \"figures exec-bench\",\n  \"units\": \"milliseconds, median\",\n  \"hardware_threads\": {threads},\n  \"hash_join\": {{\n    \"rows_baseline_ms\": {join_rows:.2},\n    \"batch_ms\": {join_batch:.2},\n    \"speedup_vs_rows\": {:.2},\n    \"pre_pr_ms\": {PRE_PR_HASH_JOIN_MS},\n    \"speedup_vs_pre_pr\": {:.2}\n  }},\n  \"aggregation\": {{\n    \"rows_baseline_ms\": {agg_rows:.2},\n    \"batch_ms\": {agg_batch:.2},\n    \"speedup_vs_rows\": {:.2},\n    \"pre_pr_ms\": {PRE_PR_AGGREGATION_MS}\n  }},\n  \"bag_minus_100k_ms\": {bag_ms:.2},\n  \"epoch\": {{\n    \"sf\": {sf},\n    \"update_percent\": 5.0,\n    \"workload\": \"five_join_views\",\n    \"serial_ms\": {epoch_serial:.2},\n    \"parallel_ms\": {epoch_parallel:.2},\n    \"pre_pr_ms\": {PRE_PR_EPOCH_SF01_MS},\n    \"speedup_vs_pre_pr\": {:.2}\n  }}\n}}\n",
+        join_rows / join_batch,
+        PRE_PR_HASH_JOIN_MS / join_batch,
+        agg_rows / agg_batch,
+        PRE_PR_EPOCH_SF01_MS / epoch_serial,
+    );
+    match std::fs::write("BENCH_exec.json", &json) {
+        Ok(()) => println!("wrote BENCH_exec.json"),
+        Err(e) => eprintln!("cannot write BENCH_exec.json: {e}"),
     }
 }

@@ -1,0 +1,327 @@
+//! Executor benchmark workloads, shared by `benches/exec.rs` and the
+//! `figures` binary's `exec-bench` section (which emits `BENCH_exec.json`).
+//!
+//! Two kinds of measurement live here:
+//!
+//! * **operator microbenchmarks** — a synthetic dim/fact pair sized so the
+//!   hash-join and aggregation hot loops dominate, evaluated both through
+//!   the engine's executor ([`run_join`]/[`run_agg`]) and through
+//!   *row-at-a-time baseline* implementations ([`rows_join`]/[`rows_agg`])
+//!   that replicate the pre-vectorization executor's algorithms (clone
+//!   every input row, allocate a `Vec<Value>` key per probe, build each
+//!   output row as a fresh `Vec`). The baseline is kept so the speedup of
+//!   the batch engine stays measurable in-tree, not just in history;
+//! * **epoch throughput** — a TPC-D warehouse driving full maintenance
+//!   epochs through the real `execute_epoch` path.
+
+use mvmqo_core::cost::CostModel;
+use mvmqo_core::dag::Dag;
+use mvmqo_core::plan::{PhysPlan, PlanNode};
+use mvmqo_exec::Runtime;
+use mvmqo_relalg::agg::{Accumulator, AggFunc, AggSpec};
+use mvmqo_relalg::catalog::{Catalog, ColumnSpec, TableId};
+use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
+use mvmqo_relalg::tuple::{concat_tuples, Tuple};
+use mvmqo_relalg::types::{DataType, Value};
+use mvmqo_storage::database::Database;
+use mvmqo_storage::delta::DeltaSet;
+use mvmqo_storage::table::StoredTable;
+use mvmqo_tpcd::{epoch_updates, five_join_views, generate_database, tpcd_catalog, DriverProfile};
+use mvmqo_warehouse::{ReoptPolicy, Warehouse};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Synthetic dim/fact fixture for operator microbenchmarks.
+pub struct ExecFixture {
+    pub catalog: Catalog,
+    pub db: Database,
+    pub dim: TableId,
+    pub fact: TableId,
+    pub join_plan: PhysPlan,
+    pub agg_plan: PhysPlan,
+}
+
+/// Tiny deterministic LCG so fixtures need no RNG dependency.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Build the fixture: `dim_rows` dimension rows, `fact_rows` fact rows,
+/// a filtered build-side hash join plan and a grouped aggregation plan.
+pub fn exec_fixture(dim_rows: usize, fact_rows: usize) -> ExecFixture {
+    let mut catalog = Catalog::new();
+    let dim = catalog.add_table(
+        "dim",
+        vec![
+            ColumnSpec::key("id", DataType::Int),
+            ColumnSpec::with_distinct("grp", DataType::Int, 64.0),
+            ColumnSpec::with_distinct("name", DataType::Str, dim_rows as f64),
+        ],
+        dim_rows as f64,
+        &["id"],
+    );
+    let fact = catalog.add_table(
+        "fact",
+        vec![
+            ColumnSpec::with_distinct("fk", DataType::Int, dim_rows as f64),
+            ColumnSpec::with_range("val", DataType::Float, fact_rows as f64, (0.0, 1.0)),
+            ColumnSpec::with_distinct("pad", DataType::Str, 997.0),
+        ],
+        fact_rows as f64,
+        &["fk"],
+    );
+
+    let mut seed = 0x5eed_cafe_u64;
+    let dim_schema = catalog.table(dim).schema.clone();
+    let fact_schema = catalog.table(fact).schema.clone();
+    let dim_data: Vec<Tuple> = (0..dim_rows)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int((lcg(&mut seed) % 64) as i64),
+                Value::str(format!("d{i}")),
+            ]
+        })
+        .collect();
+    let fact_data: Vec<Tuple> = (0..fact_rows)
+        .map(|_| {
+            vec![
+                Value::Int((lcg(&mut seed) % dim_rows as u64) as i64),
+                Value::Float((lcg(&mut seed) % 10_000) as f64 / 10_000.0),
+                Value::str(format!("p{}", lcg(&mut seed) % 997)),
+            ]
+        })
+        .collect();
+    let mut db = Database::new();
+    db.put_base(dim, StoredTable::with_rows(dim_schema.clone(), dim_data));
+    db.put_base(fact, StoredTable::with_rows(fact_schema.clone(), fact_data));
+
+    let dim_id = catalog.table(dim).attr("id");
+    let fact_fk = catalog.table(fact).attr("fk");
+    let fact_val = catalog.table(fact).attr("val");
+    let combined = dim_schema.concat(&fact_schema);
+    let join_plan = PhysPlan {
+        schema: combined.clone(),
+        node: PlanNode::HashJoin {
+            build: Box::new(PhysPlan {
+                schema: dim_schema.clone(),
+                node: PlanNode::ScanBase(dim),
+            }),
+            probe: Box::new(PhysPlan {
+                schema: fact_schema.clone(),
+                node: PlanNode::Filter {
+                    input: Box::new(PhysPlan {
+                        schema: fact_schema.clone(),
+                        node: PlanNode::ScanBase(fact),
+                    }),
+                    pred: Predicate::from_expr(ScalarExpr::col_cmp_lit(
+                        fact_val,
+                        CmpOp::Lt,
+                        0.5f64,
+                    )),
+                },
+            }),
+            keys: vec![(dim_id, fact_fk)],
+            residual: Predicate::true_(),
+        },
+    };
+
+    let sum_out = catalog.fresh_attr();
+    let cnt_out = catalog.fresh_attr();
+    let agg_schema = mvmqo_relalg::schema::Schema::new(vec![
+        fact_schema.attr(fact_fk).unwrap().clone(),
+        mvmqo_relalg::schema::Attribute {
+            id: sum_out,
+            name: "sum_val".into(),
+            data_type: DataType::Float,
+        },
+        mvmqo_relalg::schema::Attribute {
+            id: cnt_out,
+            name: "cnt".into(),
+            data_type: DataType::Int,
+        },
+    ]);
+    let agg_plan = PhysPlan {
+        schema: agg_schema,
+        node: PlanNode::HashAggregate {
+            input: Box::new(PhysPlan {
+                schema: fact_schema,
+                node: PlanNode::ScanBase(fact),
+            }),
+            group_by: vec![fact_fk],
+            aggs: vec![
+                AggSpec::new(AggFunc::Sum, ScalarExpr::Col(fact_val), sum_out),
+                AggSpec::new(AggFunc::Count, ScalarExpr::Col(fact_val), cnt_out),
+            ],
+        },
+    };
+
+    ExecFixture {
+        catalog,
+        db,
+        dim,
+        fact,
+        join_plan,
+        agg_plan,
+    }
+}
+
+/// Evaluate a plan through the engine's executor; returns output rows.
+pub fn run_plan(fixture: &mut ExecFixture, plan: &PhysPlan) -> usize {
+    let dag = Dag::new();
+    let deltas = DeltaSet::new();
+    let mut rt = Runtime::new(
+        &dag,
+        &fixture.catalog,
+        CostModel::default(),
+        &mut fixture.db,
+        &deltas,
+        BTreeMap::new(),
+        HashMap::new(),
+    );
+    rt.eval(plan).len()
+}
+
+/// The filtered hash join through the engine executor.
+pub fn run_join(fixture: &mut ExecFixture) -> usize {
+    let plan = fixture.join_plan.clone();
+    run_plan(fixture, &plan)
+}
+
+/// The grouped aggregation through the engine executor.
+pub fn run_agg(fixture: &mut ExecFixture) -> usize {
+    let plan = fixture.agg_plan.clone();
+    run_plan(fixture, &plan)
+}
+
+/// Row-at-a-time baseline of the same filtered hash join: exactly the
+/// pre-vectorization executor's algorithm (input clones, per-row key
+/// `Vec<Value>` allocations, per-output-row `Vec` construction).
+pub fn rows_join(fixture: &ExecFixture) -> usize {
+    let dim_t = fixture.db.base(fixture.dim).expect("dim");
+    let fact_t = fixture.db.base(fixture.fact).expect("fact");
+    let build_rows = dim_t.rows().to_vec();
+    let fact_rows = fact_t.rows().to_vec();
+    let fact_schema = fact_t.schema().clone();
+    let fact_val = fixture.catalog.table(fixture.fact).attr("val");
+    let pred = Predicate::from_expr(ScalarExpr::col_cmp_lit(fact_val, CmpOp::Lt, 0.5f64));
+    let probe_rows: Vec<Tuple> = fact_rows
+        .into_iter()
+        .filter(|r| pred.matches(r, &fact_schema))
+        .collect();
+    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(build_rows.len());
+    for row in &build_rows {
+        let key: Vec<Value> = vec![row[0].clone()];
+        table.entry(key).or_default().push(row);
+    }
+    let mut out: Vec<Tuple> = Vec::new();
+    for prow in &probe_rows {
+        let key: Vec<Value> = vec![prow[0].clone()];
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for brow in matches {
+                out.push(concat_tuples(brow, prow));
+            }
+        }
+    }
+    out.len()
+}
+
+/// Row-at-a-time baseline of the grouped aggregation (per-row key allocs).
+pub fn rows_agg(fixture: &ExecFixture) -> usize {
+    let fact_t = fixture.db.base(fixture.fact).expect("fact");
+    let rows = fact_t.rows().to_vec();
+    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    for row in &rows {
+        let key: Vec<Value> = vec![row[0].clone()];
+        let accs = groups.entry(key).or_insert_with(|| {
+            vec![
+                Accumulator::new(AggFunc::Sum),
+                Accumulator::new(AggFunc::Count),
+            ]
+        });
+        accs[0].add(&row[1]);
+        accs[1].add(&row[1]);
+    }
+    let mut out: Vec<Tuple> = groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut row = key;
+            row.extend(accs.iter().map(Accumulator::finish));
+            row
+        })
+        .collect();
+    out.sort();
+    out.len()
+}
+
+/// Multiset fixtures for the bag-operation microbenchmark.
+pub fn bag_fixture(n: usize) -> (Vec<Tuple>, Vec<Tuple>) {
+    let mut seed = 17u64;
+    let a: Vec<Tuple> = (0..n)
+        .map(|_| {
+            vec![
+                Value::Int((lcg(&mut seed) % (n as u64 / 2 + 1)) as i64),
+                Value::Int((lcg(&mut seed) % 7) as i64),
+            ]
+        })
+        .collect();
+    let b: Vec<Tuple> = a.iter().step_by(3).cloned().collect();
+    (a, b)
+}
+
+/// A TPC-D warehouse ready to drive maintenance epochs.
+pub struct EpochFixture {
+    tpcd: mvmqo_tpcd::Tpcd,
+    pub warehouse: Warehouse,
+    epoch: u64,
+}
+
+impl EpochFixture {
+    /// Scale-factor `sf` database with the five-join-view workload
+    /// registered; `parallel` selects the epoch scheduler.
+    pub fn new(sf: f64, parallel: bool) -> EpochFixture {
+        let tpcd = tpcd_catalog(sf);
+        let db = generate_database(&tpcd, 5);
+        let mut warehouse = Warehouse::new(tpcd.catalog.clone(), db)
+            .with_policy(ReoptPolicy {
+                delta_fraction: 0.5,
+                cost_ratio: 1e12,
+            })
+            .with_parallel(parallel);
+        for v in five_join_views(&tpcd) {
+            warehouse.register_view(v).unwrap();
+        }
+        EpochFixture {
+            tpcd,
+            warehouse,
+            epoch: 0,
+        }
+    }
+
+    /// Ingest a steady `percent` batch on every relation and run one epoch.
+    /// Returns the number of tuples applied.
+    pub fn step(&mut self, percent: f64) -> usize {
+        let deltas = epoch_updates(
+            &self.tpcd,
+            self.warehouse.database(),
+            DriverProfile::Steady { percent },
+            self.epoch,
+            9,
+        )
+        .unwrap();
+        self.epoch += 1;
+        let tables: Vec<_> = deltas.tables().collect();
+        for t in tables {
+            self.warehouse
+                .ingest(t, deltas.get(t).unwrap().clone())
+                .unwrap();
+        }
+        self.warehouse.run_epoch().unwrap().ingested_tuples
+    }
+}

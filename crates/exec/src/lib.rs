@@ -5,12 +5,17 @@
 //! query execution engine ... we are unable to get actual numbers", §7.1);
 //! this crate closes that gap:
 //!
-//! * [`runtime`] — plan evaluation (hash / merge / nested-loop / index
-//!   nested-loop joins, aggregation, multiset union/difference), stored
+//! * [`runtime`] — *vectorized* plan evaluation over columnar
+//!   [`mvmqo_relalg::batch::Batch`]es (hash / merge / nested-loop / index
+//!   nested-loop joins, aggregation, multiset union/difference; filters
+//!   and projections are selection-vector/column updates, joins build
+//!   borrowed-key hash tables and gather row-id pairs once), stored
 //!   materializations with on-demand recomputation, aggregate/distinct
 //!   merge with hidden support state;
 //! * [`run`] — drives a [`mvmqo_core::plan::Program`] through one refresh
 //!   cycle with the one-relation-one-kind-at-a-time semantics of §3.2.2;
+//!   [`ExecOptions::parallel`] levels each phase's independent plan roots
+//!   and evaluates them on scoped threads, deterministically;
 //! * [`mod@reference`] — a naive ground-truth evaluator used to verify that
 //!   incremental maintenance produces exactly the recomputed result;
 //! * [`meter`] — simulated I/O/CPU accounting in the same units as the
@@ -25,6 +30,7 @@ pub mod runtime;
 pub use meter::Meter;
 pub use reference::eval_logical;
 pub use run::{
-    execute_epoch, execute_program, index_plan_from_report, view_root, ExecReport, IndexPlan,
+    execute_epoch, execute_epoch_opts, execute_program, index_plan_from_report, view_root,
+    ExecOptions, ExecReport, IndexPlan,
 };
 pub use runtime::{align_rows, Runtime, RuntimeState};

@@ -53,6 +53,26 @@ pub struct ExecReport {
     pub total_builds: usize,
 }
 
+/// Executor scheduling options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Execute independent plan roots of each epoch phase concurrently
+    /// (scoped threads). Results are bag-identical to serial execution:
+    /// every parallel evaluation reads the same pre-phase state, and all
+    /// merges/stores are applied serially in program order.
+    pub parallel: bool,
+}
+
+impl ExecOptions {
+    pub fn serial() -> Self {
+        ExecOptions { parallel: false }
+    }
+
+    pub fn parallel() -> Self {
+        ExecOptions { parallel: true }
+    }
+}
+
 /// Indices the executor must realize before running.
 #[derive(Debug, Clone, Default)]
 pub struct IndexPlan {
@@ -97,6 +117,33 @@ pub fn execute_epoch(
     indices: &IndexPlan,
     state: &mut RuntimeState,
 ) -> ExecReport {
+    execute_epoch_opts(
+        dag,
+        catalog,
+        model,
+        db,
+        deltas,
+        program,
+        indices,
+        state,
+        ExecOptions::serial(),
+    )
+}
+
+/// [`execute_epoch`] with explicit scheduling options (the warehouse
+/// engine's serial-vs-parallel knob).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_epoch_opts(
+    dag: &Dag,
+    catalog: &Catalog,
+    model: CostModel,
+    db: &mut Database,
+    deltas: &DeltaSet,
+    program: &Program,
+    indices: &IndexPlan,
+    state: &mut RuntimeState,
+    options: ExecOptions,
+) -> ExecReport {
     // Realize base indices. Skip ones that already exist: the storage
     // layer keeps indices in sync as deltas apply, so across epochs they
     // persist rather than being rebuilt.
@@ -127,14 +174,17 @@ pub fn execute_epoch(
     );
 
     // ------------------------------------------------------------------
-    // Setup: populate views and permanent extras on the OLD state.
+    // Setup: populate views and permanent extras on the OLD state. Under
+    // the parallel scheduler, independent full plans of one dependency
+    // level are evaluated concurrently.
     // ------------------------------------------------------------------
-    for (_, e) in &program.views {
-        rt.materialize(*e);
-    }
-    for e in &program.permanent_mats {
-        rt.materialize(*e);
-    }
+    let setup_targets: Vec<EqId> = program
+        .views
+        .iter()
+        .map(|(_, e)| *e)
+        .chain(program.permanent_mats.iter().copied())
+        .collect();
+    rt.materialize_many(&setup_targets, options.parallel);
     let setup_meter = rt.meter.clone();
     let setup_seconds = setup_meter.seconds;
     let setup_builds = rt.full_builds;
@@ -159,15 +209,61 @@ pub fn execute_epoch(
         let table = step.update.table;
 
         // 1. Temporarily materialized differentials (bottom-up order).
-        for (e, plan) in &step.temp_deltas {
-            let rows = rt.eval(plan);
-            rt.store_delta(*e, u, rows);
+        // A later differential may read an earlier one (`ReadDelta`), so
+        // the parallel scheduler levels them by those references and runs
+        // each level concurrently; stores stay in program order.
+        if options.parallel && step.temp_deltas.len() > 1 {
+            let temp_ids: Vec<EqId> = step.temp_deltas.iter().map(|(e, _)| *e).collect();
+            let plan_of: HashMap<EqId, &mvmqo_core::plan::PhysPlan> = step
+                .temp_deltas
+                .iter()
+                .map(|(e, plan)| (*e, plan))
+                .collect();
+            let in_set: HashSet<EqId> = temp_ids.iter().copied().collect();
+            let levels = crate::runtime::level_items(&temp_ids, |e| {
+                crate::runtime::delta_refs(plan_of[&e], u)
+                    .into_iter()
+                    .filter(|d| in_set.contains(d) && *d != e)
+                    .collect()
+            });
+            for level in levels {
+                for e in &level {
+                    rt.prepare(plan_of[e]);
+                }
+                let plans: Vec<&mvmqo_core::plan::PhysPlan> =
+                    level.iter().map(|e| plan_of[e]).collect();
+                let results = crate::runtime::eval_parallel(&rt, &plans);
+                for (e, (batch, meter)) in level.into_iter().zip(results) {
+                    rt.meter.absorb(&meter);
+                    rt.store_delta(e, u, batch.into_rows());
+                }
+            }
+        } else {
+            for (e, plan) in &step.temp_deltas {
+                let rows = rt.eval(plan);
+                rt.store_delta(*e, u, rows);
+            }
         }
 
-        // 2. Evaluate all merge deltas against the pre-step state...
+        // 2. Evaluate all merge deltas against the pre-step state (all of
+        // them before any merge applies, so every plan sees updates < u;
+        // that same independence is what lets them run concurrently)...
         let mut merge_rows: Vec<(usize, Vec<Tuple>)> = Vec::with_capacity(step.merges.len());
-        for (i, merge) in step.merges.iter().enumerate() {
-            merge_rows.push((i, rt.eval(&merge.delta_plan)));
+        if options.parallel && step.merges.len() > 1 {
+            for merge in &step.merges {
+                rt.prepare(&merge.delta_plan);
+            }
+            let plans: Vec<&mvmqo_core::plan::PhysPlan> =
+                step.merges.iter().map(|m| &m.delta_plan).collect();
+            let results = crate::runtime::eval_parallel(&rt, &plans);
+            for (i, (batch, meter)) in results.into_iter().enumerate() {
+                rt.meter.absorb(&meter);
+                merge_rows.push((i, batch.into_rows()));
+            }
+        } else {
+            for (i, merge) in step.merges.iter().enumerate() {
+                merge_rows.push((i, rt.eval(&merge.delta_plan)));
+            }
         }
         // ...then apply them.
         for (i, rows) in merge_rows {
@@ -209,8 +305,8 @@ pub fn execute_epoch(
     // ------------------------------------------------------------------
     for e in &program.final_recomputes {
         rt.drop_mat(*e);
-        rt.materialize(*e);
     }
+    rt.materialize_many(&program.final_recomputes, options.parallel);
     for e in &program.temporary_mats {
         rt.drop_mat(*e);
     }

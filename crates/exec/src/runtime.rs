@@ -1,5 +1,5 @@
-//! Execution runtime: stored materializations, plan evaluation, and delta
-//! merging.
+//! Execution runtime: stored materializations, vectorized plan evaluation,
+//! and delta merging.
 //!
 //! The runtime owns the materialized results (user views, permanent extras,
 //! and on-demand temporaries), evaluates [`PhysPlan`]s against the *current*
@@ -8,6 +8,15 @@
 //! base relation they depend on is updated, which keeps every full input a
 //! delta plan reads in exactly the state updates `1..u−1` applied — the
 //! semantics §5.2's per-node state entries describe.
+//!
+//! Evaluation is split in two:
+//!
+//! 1. `Runtime::prepare` — the only *mutable* pass: materializes every
+//!    stored result the plan reads and creates any index it probes;
+//! 2. `EvalCtx::eval` — a read-only vectorized evaluator over columnar
+//!    [`Batch`]es. Because it only holds shared references, the epoch
+//!    scheduler can run independent plan roots on separate threads against
+//!    one prepared state.
 
 use crate::meter::Meter;
 use mvmqo_core::cost::CostModel;
@@ -16,6 +25,7 @@ use mvmqo_core::opt::StoredRef;
 use mvmqo_core::plan::{PhysPlan, PlanNode};
 use mvmqo_core::update::UpdateId;
 use mvmqo_relalg::agg::{Accumulator, AggSpec};
+use mvmqo_relalg::batch::{Batch, Column, CompiledPredicate};
 use mvmqo_relalg::catalog::Catalog;
 use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
 use mvmqo_relalg::schema::{AttrId, Schema};
@@ -171,6 +181,30 @@ impl RuntimeState {
     }
 }
 
+/// How a full plan's root folds into stored state when materialized:
+/// grouped and distinct roots keep hidden support state (footnote 1), so
+/// the evaluator runs their *input* plan and the install step folds it.
+enum RootKind {
+    Plain,
+    Agg {
+        group_by: Vec<AttrId>,
+        aggs: Vec<AggSpec>,
+        input_schema: Schema,
+    },
+    Distinct,
+}
+
+/// One claimed materialization build: what to evaluate and how to install
+/// the result. Produced by `Runtime::claim_build`, consumed by
+/// `Runtime::install_build` — the shared halves of the serial and
+/// parallel materialization paths.
+struct MatWork {
+    e: EqId,
+    schema: Schema,
+    kind: RootKind,
+    eval_plan: PhysPlan,
+}
+
 /// The execution runtime for one maintenance cycle.
 pub struct Runtime<'a> {
     pub dag: &'a Dag,
@@ -253,49 +287,148 @@ impl<'a> Runtime<'a> {
     /// Ensure a materialized result exists and is fresh; returns its rows.
     pub fn materialize(&mut self, e: EqId) -> &StoredTable {
         if !self.state.fresh.contains(&e) {
-            self.full_builds += 1;
-            let plan = self
-                .full_plans
-                .get(&e)
-                .unwrap_or_else(|| panic!("no full plan for materialized node {e}"))
-                .clone();
-            let schema = plan.schema.clone();
-            let rows = match &plan.node {
-                PlanNode::HashAggregate {
-                    input,
-                    group_by,
-                    aggs,
-                } => {
-                    // Build hidden accumulator state so later deletions can
-                    // be applied (footnote 1).
-                    let input_rows = self.eval(input);
-                    let mut state =
-                        AggState::new(group_by.clone(), aggs.clone(), input.schema.clone());
-                    state.fold(&input_rows, DeltaKind::Insert);
-                    let rows = state.rows();
-                    self.state.agg_states.insert(e, state);
-                    rows
-                }
-                PlanNode::Distinct { input } => {
-                    let input_rows = self.eval(input);
-                    let mut state = DistinctState::default();
-                    state.fold(&input_rows, DeltaKind::Insert);
-                    let rows = state.rows();
-                    self.state.distinct_states.insert(e, state);
-                    rows
-                }
-                _ => self.eval(&plan),
-            };
-            self.meter
-                .charge_seq(&self.model, rows.len(), schema.row_width());
-            let mut table = StoredTable::with_rows(schema, rows);
-            for attr in self.mat_indices.get(&e).cloned().unwrap_or_default() {
-                table.create_index(attr, IndexKind::Hash);
-            }
-            self.state.mats.insert(e, table);
-            self.state.fresh.insert(e);
+            let work = self.claim_build(e);
+            let rows = self.eval(&work.eval_plan);
+            self.install_build(work, rows);
         }
         self.state.mats.get(&e).expect("just materialized")
+    }
+
+    /// Claim one full build: count it, classify the plan root, and return
+    /// the plan the evaluator must actually run (the aggregate/distinct
+    /// *input* — so hidden accumulator state can be built from it,
+    /// footnote 1 of the paper — or the plan itself otherwise). Shared by
+    /// the serial and parallel materialization paths so their semantics
+    /// cannot drift.
+    fn claim_build(&mut self, e: EqId) -> MatWork {
+        self.full_builds += 1;
+        let plan = self
+            .full_plans
+            .get(&e)
+            .unwrap_or_else(|| panic!("no full plan for materialized node {e}"))
+            .clone();
+        let schema = plan.schema.clone();
+        match plan.node {
+            PlanNode::HashAggregate {
+                input,
+                group_by,
+                aggs,
+            } => MatWork {
+                e,
+                schema,
+                kind: RootKind::Agg {
+                    group_by,
+                    aggs,
+                    input_schema: input.schema.clone(),
+                },
+                eval_plan: *input,
+            },
+            PlanNode::Distinct { input } => MatWork {
+                e,
+                schema,
+                kind: RootKind::Distinct,
+                eval_plan: *input,
+            },
+            _ => MatWork {
+                e,
+                schema,
+                kind: RootKind::Plain,
+                eval_plan: plan,
+            },
+        }
+    }
+
+    /// Install one evaluated build: fold hidden aggregate/distinct support
+    /// state if the root needs it, charge the store, build the table with
+    /// its chosen indices, and mark it fresh.
+    fn install_build(&mut self, work: MatWork, eval_rows: Vec<Tuple>) {
+        let MatWork {
+            e, schema, kind, ..
+        } = work;
+        let rows = match kind {
+            RootKind::Plain => eval_rows,
+            RootKind::Agg {
+                group_by,
+                aggs,
+                input_schema,
+            } => {
+                let mut state = AggState::new(group_by, aggs, input_schema);
+                state.fold(&eval_rows, DeltaKind::Insert);
+                let rows = state.rows();
+                self.state.agg_states.insert(e, state);
+                rows
+            }
+            RootKind::Distinct => {
+                let mut state = DistinctState::default();
+                state.fold(&eval_rows, DeltaKind::Insert);
+                let rows = state.rows();
+                self.state.distinct_states.insert(e, state);
+                rows
+            }
+        };
+        self.meter
+            .charge_seq(&self.model, rows.len(), schema.row_width());
+        let mut table = StoredTable::with_rows(schema, rows);
+        for attr in self.mat_indices.get(&e).cloned().unwrap_or_default() {
+            table.create_index(attr, IndexKind::Hash);
+        }
+        self.state.mats.insert(e, table);
+        self.state.fresh.insert(e);
+    }
+
+    /// Materialize a set of results, optionally in parallel: the targets
+    /// are topologically levelled by their stored-result dependencies, and
+    /// within each level the full plans are evaluated concurrently by the
+    /// read-only vectorized evaluator (one scoped thread per plan root).
+    /// All state mutation — dependency preparation before a level, result
+    /// installation after — stays serial and in target order, so the
+    /// outcome is identical to calling [`Runtime::materialize`] in a loop.
+    pub fn materialize_many(&mut self, targets: &[EqId], parallel: bool) {
+        let mut seen = HashSet::new();
+        let todo: Vec<EqId> = targets
+            .iter()
+            .copied()
+            .filter(|e| seen.insert(*e) && !self.state.fresh.contains(e))
+            .collect();
+        if !parallel || todo.len() < 2 {
+            for e in todo {
+                self.materialize(e);
+            }
+            return;
+        }
+        let in_set: HashSet<EqId> = todo.iter().copied().collect();
+        let levels = level_items(&todo, |e| {
+            self.full_plans
+                .get(&e)
+                .map(|p| {
+                    mat_refs(p)
+                        .into_iter()
+                        .filter(|d| in_set.contains(d) && *d != e)
+                        .collect()
+                })
+                .unwrap_or_default()
+        });
+
+        for level in levels {
+            // Serial mutable pass: claim builds, prepare dependencies.
+            let mut work: Vec<MatWork> = Vec::with_capacity(level.len());
+            for &e in &level {
+                if self.state.fresh.contains(&e) {
+                    continue;
+                }
+                let w = self.claim_build(e);
+                self.prepare(&w.eval_plan);
+                work.push(w);
+            }
+            // Parallel read-only evaluation of the level's plan roots.
+            let plans: Vec<&PhysPlan> = work.iter().map(|w| &w.eval_plan).collect();
+            let results = eval_parallel(self, &plans);
+            // Serial installation, in target order.
+            for (w, (batch, meter)) in work.into_iter().zip(results) {
+                self.meter.absorb(&meter);
+                self.install_build(w, batch.into_rows());
+            }
+        }
     }
 
     /// Drop a temporary materialization.
@@ -404,126 +537,234 @@ impl<'a> Runtime<'a> {
     }
 
     // ==================================================================
-    // Plan evaluation
+    // Plan evaluation (vectorized)
     // ==================================================================
 
-    /// Evaluate a physical plan against the current state.
+    /// Evaluate a physical plan against the current state, as rows.
     pub fn eval(&mut self, plan: &PhysPlan) -> Vec<Tuple> {
+        self.eval_batch(plan).into_rows()
+    }
+
+    /// Evaluate a physical plan against the current state, as a columnar
+    /// [`Batch`]. Runs the mutable `prepare` pass first, then the
+    /// read-only vectorized evaluator.
+    pub fn eval_batch(&mut self, plan: &PhysPlan) -> Batch {
+        self.prepare(plan);
+        let mut meter = Meter::new();
+        let batch = self.eval_ctx().eval(plan, &mut meter);
+        self.meter.absorb(&meter);
+        batch
+    }
+
+    /// Read-only evaluation context over the runtime's current state.
+    /// `Copy`, so the epoch scheduler can hand one to each worker thread.
+    pub(crate) fn eval_ctx(&self) -> EvalCtx<'_> {
+        EvalCtx {
+            model: &self.model,
+            db: &*self.db,
+            deltas: self.deltas,
+            mats: &self.state.mats,
+            delta_store: &self.delta_store,
+        }
+    }
+
+    /// Mutable pre-pass: materialize every stored result the plan reads
+    /// and create any index it probes, so that evaluation itself is
+    /// read-only (and therefore shareable across scheduler threads). This
+    /// is also what lets the index nested-loop join probe the stored inner
+    /// relation in place instead of cloning it.
+    pub(crate) fn prepare(&mut self, plan: &PhysPlan) {
         match &plan.node {
-            PlanNode::ScanBase(t) => {
-                let rows = self.db.base(*t).expect("base table loaded").rows().to_vec();
-                self.meter
-                    .charge_seq(&self.model, rows.len(), plan.schema.row_width());
-                rows
-            }
-            PlanNode::ScanDelta { table, kind } => {
-                let rows = self.deltas.side(*table, *kind).to_vec();
-                self.meter
-                    .charge_seq(&self.model, rows.len(), plan.schema.row_width());
-                rows
-            }
+            PlanNode::ScanBase(_) | PlanNode::ScanDelta { .. } | PlanNode::ReadDelta(..) => {}
             PlanNode::ReadMat(e) => {
                 self.materialize(*e);
-                let table = self.state.mats.get(e).expect("materialized");
-                let rows = align_rows(table.rows().to_vec(), table.schema(), &plan.schema);
-                self.meter
-                    .charge_seq(&self.model, rows.len(), plan.schema.row_width());
-                rows
+            }
+            PlanNode::IndexScan { target, .. } => {
+                if let StoredRef::Mat(e) = target {
+                    self.materialize(*e);
+                }
+            }
+            PlanNode::IndexNlJoin {
+                outer, inner, keys, ..
+            } => {
+                self.prepare(outer);
+                let t = self.stored_table_mut(*inner);
+                if t.index_on(keys.1).is_none() {
+                    t.create_index(keys.1, IndexKind::Hash);
+                }
+            }
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::HashAggregate { input, .. }
+            | PlanNode::Distinct { input } => self.prepare(input),
+            PlanNode::HashJoin { build, probe, .. } => {
+                self.prepare(build);
+                self.prepare(probe);
+            }
+            PlanNode::MergeJoin { left, right, .. }
+            | PlanNode::NlJoin { left, right, .. }
+            | PlanNode::Minus { left, right } => {
+                self.prepare(left);
+                self.prepare(right);
+            }
+            PlanNode::UnionAll(inputs) => {
+                for i in inputs {
+                    self.prepare(i);
+                }
+            }
+        }
+    }
+
+    /// Resolve a stored relation reference (mutable, for on-demand index
+    /// creation during [`Runtime::prepare`]).
+    fn stored_table_mut(&mut self, target: StoredRef) -> &mut StoredTable {
+        match target {
+            StoredRef::Base(t) => self.db.base_mut(t).expect("base table loaded"),
+            StoredRef::Mat(e) => {
+                self.materialize(e);
+                self.state.mats.get_mut(&e).expect("materialized")
+            }
+        }
+    }
+}
+
+/// The read-only vectorized evaluator: shared references to everything a
+/// plan can touch after [`Runtime::prepare`] ran. All operators fold over
+/// [`Batch`]es — filters/projections are selection/column updates, joins
+/// build borrowed-key hash tables over column positions and emit row-id
+/// pairs that are gathered into output columns once, at the end.
+#[derive(Clone, Copy)]
+pub(crate) struct EvalCtx<'r> {
+    pub model: &'r CostModel,
+    pub db: &'r Database,
+    pub deltas: &'r DeltaSet,
+    pub mats: &'r HashMap<EqId, StoredTable>,
+    pub delta_store: &'r HashMap<(EqId, UpdateId), Vec<Tuple>>,
+}
+
+impl EvalCtx<'_> {
+    /// Evaluate a plan, charging `meter` the same primitives the
+    /// row-at-a-time executor charged (so executed-vs-estimated cost
+    /// comparisons are unchanged by vectorization).
+    pub(crate) fn eval(&self, plan: &PhysPlan, meter: &mut Meter) -> Batch {
+        match &plan.node {
+            PlanNode::ScanBase(t) => {
+                let table = self.db.base(*t).expect("base table loaded");
+                let batch = (*table.to_batch()).clone().align(&plan.schema);
+                meter.charge_seq(self.model, batch.num_rows(), plan.schema.row_width());
+                batch
+            }
+            PlanNode::ScanDelta { table, kind } => {
+                let rows = self.deltas.side(*table, *kind);
+                meter.charge_seq(self.model, rows.len(), plan.schema.row_width());
+                Batch::from_rows(plan.schema.clone(), rows)
+            }
+            PlanNode::ReadMat(e) => {
+                let table = self
+                    .mats
+                    .get(e)
+                    .unwrap_or_else(|| panic!("materialized node {e} not prepared"));
+                let batch = (*table.to_batch()).clone().align(&plan.schema);
+                meter.charge_seq(self.model, batch.num_rows(), plan.schema.row_width());
+                batch
             }
             PlanNode::ReadDelta(e, u) => {
                 let rows = self
                     .delta_store
                     .get(&(*e, *u))
-                    .cloned()
                     .unwrap_or_else(|| panic!("δ({e},{u}) not stored"));
-                self.meter
-                    .charge_seq(&self.model, rows.len(), plan.schema.row_width());
-                rows
+                meter.charge_seq(self.model, rows.len(), plan.schema.row_width());
+                Batch::from_rows(plan.schema.clone(), rows)
             }
             PlanNode::IndexScan { target, attr, pred } => {
-                self.eval_index_scan(plan, *target, *attr, pred)
+                self.eval_index_scan(plan, *target, *attr, pred, meter)
             }
             PlanNode::Filter { input, pred } => {
-                let rows = self.eval(input);
-                self.meter.charge_cpu(&self.model, rows.len());
-                rows.into_iter()
-                    .filter(|r| pred.matches(r, &input.schema))
-                    .collect()
+                let mut batch = self.eval(input, meter);
+                meter.charge_cpu(self.model, batch.num_rows());
+                let compiled = CompiledPredicate::compile(pred, batch.schema());
+                let mut scratch = Vec::new();
+                batch.filter(&compiled, &mut scratch);
+                batch
             }
             PlanNode::Project { input, attrs } => {
-                let rows = self.eval(input);
-                self.meter.charge_cpu(&self.model, rows.len());
+                let batch = self.eval(input, meter);
+                meter.charge_cpu(self.model, batch.num_rows());
                 let positions: Vec<usize> = attrs
                     .iter()
                     .map(|a| input.schema.position_of(*a).expect("project attr"))
                     .collect();
-                rows.into_iter()
-                    .map(|r| positions.iter().map(|&i| r[i].clone()).collect())
-                    .collect()
+                batch.project(plan.schema.clone(), &positions)
             }
             PlanNode::HashJoin {
                 build,
                 probe,
                 keys,
                 residual,
-            } => self.eval_hash_join(plan, build, probe, keys, residual),
+            } => self.eval_hash_join(plan, build, probe, keys, residual, meter),
             PlanNode::MergeJoin {
                 left,
                 right,
                 keys,
                 residual,
-            } => self.eval_merge_join(plan, left, right, keys, residual),
-            PlanNode::NlJoin { left, right, pred } => self.eval_nl_join(plan, left, right, pred),
+            } => self.eval_merge_join(plan, left, right, keys, residual, meter),
+            PlanNode::NlJoin { left, right, pred } => {
+                self.eval_nl_join(plan, left, right, pred, meter)
+            }
             PlanNode::IndexNlJoin {
                 outer,
                 inner,
                 keys,
                 inner_filter,
                 residual,
-            } => self.eval_index_nl_join(plan, outer, *inner, *keys, inner_filter, residual),
+            } => self.eval_index_nl_join(plan, outer, *inner, *keys, inner_filter, residual, meter),
             PlanNode::HashAggregate {
                 input,
                 group_by,
                 aggs,
-            } => {
-                let input_rows = self.eval(input);
-                self.meter.charge_cpu(&self.model, input_rows.len());
-                let mut state = AggState::new(group_by.clone(), aggs.clone(), input.schema.clone());
-                state.fold(&input_rows, DeltaKind::Insert);
-                state.rows()
-            }
+            } => self.eval_hash_aggregate(plan, input, group_by, aggs, meter),
             PlanNode::UnionAll(inputs) => {
-                let mut out = Vec::new();
+                let mut out: Option<Batch> = None;
                 for i in inputs {
-                    let rows = self.eval(i);
-                    out.extend(align_rows(rows, &i.schema, &plan.schema));
+                    let b = self.eval(i, meter).align(&plan.schema);
+                    match &mut out {
+                        None => out = Some(b),
+                        Some(acc) => acc.append(&b),
+                    }
                 }
-                self.meter.charge_cpu(&self.model, out.len());
+                let out = out.unwrap_or_else(|| Batch::empty(plan.schema.clone()));
+                meter.charge_cpu(self.model, out.num_rows());
                 out
             }
             PlanNode::Minus { left, right } => {
-                let l = self.eval(left);
-                let r = align_rows(self.eval(right), &right.schema, &left.schema);
-                self.meter.charge_cpu(&self.model, l.len() + r.len());
-                bag_minus(&l, &r)
+                let l = self.eval(left, meter).into_rows();
+                let r = self.eval(right, meter).align(&left.schema).into_rows();
+                meter.charge_cpu(self.model, l.len() + r.len());
+                debug_assert_eq!(plan.schema.ids(), left.schema.ids());
+                Batch::from_rows(plan.schema.clone(), &bag_minus(&l, &r))
             }
-            PlanNode::Distinct { input } => {
-                let rows = self.eval(input);
-                self.meter.charge_cpu(&self.model, rows.len());
-                let mut state = DistinctState::default();
-                state.fold(&rows, DeltaKind::Insert);
-                state.rows()
-            }
+            PlanNode::Distinct { input } => self.eval_distinct(plan, input, meter),
+        }
+    }
+
+    fn stored(&self, target: StoredRef) -> &StoredTable {
+        match target {
+            StoredRef::Base(t) => self.db.base(t).expect("base table loaded"),
+            StoredRef::Mat(e) => self
+                .mats
+                .get(&e)
+                .unwrap_or_else(|| panic!("materialized node {e} not prepared")),
         }
     }
 
     fn eval_index_scan(
-        &mut self,
+        &self,
         plan: &PhysPlan,
         target: StoredRef,
         attr: AttrId,
         pred: &Predicate,
-    ) -> Vec<Tuple> {
+        meter: &mut Meter,
+    ) -> Batch {
         // Equality probe when possible, else a filtered scan.
         let eq_value = pred.conjuncts().iter().find_map(|c| {
             if let ScalarExpr::Cmp {
@@ -541,133 +782,169 @@ impl<'a> Runtime<'a> {
                 None
             }
         });
-        let (rows, schema, total) = {
-            let table = self.stored_table(target);
-            let schema = table.schema().clone();
-            let total = table.len();
-            let rows: Vec<Tuple> = match (&eq_value, table.index_on(attr)) {
-                (Some(v), Some(idx)) => idx
-                    .lookup_eq(v)
-                    .iter()
-                    .map(|&pos| table.row(pos).clone())
-                    .collect(),
-                _ => table.rows().to_vec(),
-            };
-            (rows, schema, total)
+        let table = self.stored(target);
+        let schema = table.schema();
+        let total = table.len();
+        let mut batch = match eq_value.as_ref().and_then(|v| table.probe(attr, v)) {
+            Some(positions) => {
+                // Probe returned row positions; select only the hits.
+                let mut b = (*table.to_batch()).clone();
+                b.set_selection(positions.to_vec());
+                b
+            }
+            None => (*table.to_batch()).clone(),
         };
-        let filtered: Vec<Tuple> = rows
-            .into_iter()
-            .filter(|r| pred.matches(r, &schema))
-            .collect();
-        self.meter.charge_probes(
-            &self.model,
+        let compiled = CompiledPredicate::compile(pred, schema);
+        let mut scratch = Vec::new();
+        batch.filter(&compiled, &mut scratch);
+        meter.charge_probes(
+            self.model,
             1,
-            filtered.len().max(1),
+            batch.num_rows().max(1),
             total,
             schema.row_width(),
         );
-        align_rows(filtered, &schema, &plan.schema)
+        batch.align(&plan.schema)
     }
 
     fn eval_hash_join(
-        &mut self,
+        &self,
         plan: &PhysPlan,
         build: &PhysPlan,
         probe: &PhysPlan,
         keys: &[(AttrId, AttrId)],
         residual: &Predicate,
-    ) -> Vec<Tuple> {
-        let build_rows = self.eval(build);
-        let probe_rows = self.eval(probe);
-        let bpos: Vec<usize> = keys
+        meter: &mut Meter,
+    ) -> Batch {
+        let build_b = self.eval(build, meter);
+        let probe_b = self.eval(probe, meter);
+        let bcols: Vec<usize> = keys
             .iter()
             .map(|(b, _)| build.schema.position_of(*b).expect("build key"))
             .collect();
-        let ppos: Vec<usize> = keys
+        let pcols: Vec<usize> = keys
             .iter()
             .map(|(_, p)| probe.schema.position_of(*p).expect("probe key"))
             .collect();
-        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(build_rows.len());
-        for row in &build_rows {
-            let key: Vec<Value> = bpos.iter().map(|&i| row[i].clone()).collect();
-            table.entry(key).or_default().push(row);
+        // Hash table over the build side, keyed by the *hash* of the key
+        // columns at each position: hash once per row, no per-row key
+        // vector is ever allocated; candidate collisions are resolved by
+        // comparing key columns position-to-position.
+        let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(build_b.num_rows());
+        for i in 0..build_b.num_rows() {
+            let phys = build_b.physical(i);
+            if build_b.any_null(phys, &bcols) {
+                continue; // NULL keys can never match a probe
+            }
+            table
+                .entry(build_b.hash_keys(phys, &bcols))
+                .or_default()
+                .push(phys);
         }
         let combined = build.schema.concat(&probe.schema);
         let out_positions = positions_for(&combined, &plan.schema);
-        let mut out = Vec::new();
-        for prow in &probe_rows {
-            let key: Vec<Value> = ppos.iter().map(|&i| prow[i].clone()).collect();
-            if key.iter().any(Value::is_null) {
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for i in 0..probe_b.num_rows() {
+            let pphys = probe_b.physical(i);
+            if probe_b.any_null(pphys, &pcols) {
                 continue;
             }
-            if let Some(matches) = table.get(&key) {
-                for brow in matches {
-                    let joined = mvmqo_relalg::tuple::concat_tuples(brow, prow);
-                    if residual.is_true() || residual.matches(&joined, &combined) {
-                        out.push(project_positions(&joined, &out_positions));
+            if let Some(cands) = table.get(&probe_b.hash_keys(pphys, &pcols)) {
+                for &bphys in cands {
+                    if build_b.keys_eq(bphys, &bcols, &probe_b, pphys, &pcols) {
+                        pairs.push((bphys, pphys));
                     }
                 }
             }
         }
-        self.meter
-            .charge_cpu(&self.model, build_rows.len() + probe_rows.len() + out.len());
-        out
+        if !residual.is_true() {
+            let mut joined = Vec::with_capacity(combined.len());
+            pairs.retain(|&(b, p)| {
+                concat_row(&build_b, b, &probe_b, p, &mut joined);
+                residual.matches(&joined, &combined)
+            });
+        }
+        meter.charge_cpu(
+            self.model,
+            build_b.num_rows() + probe_b.num_rows() + pairs.len(),
+        );
+        Batch::gather_pairs(
+            &build_b,
+            &probe_b,
+            &pairs,
+            plan.schema.clone(),
+            &out_positions,
+        )
     }
 
     fn eval_merge_join(
-        &mut self,
+        &self,
         plan: &PhysPlan,
         left: &PhysPlan,
         right: &PhysPlan,
         keys: &[(AttrId, AttrId)],
         residual: &Predicate,
-    ) -> Vec<Tuple> {
-        let mut lrows = self.eval(left);
-        let mut rrows = self.eval(right);
-        let lpos: Vec<usize> = keys
+        meter: &mut Meter,
+    ) -> Batch {
+        let l_b = self.eval(left, meter);
+        let r_b = self.eval(right, meter);
+        let lcols: Vec<usize> = keys
             .iter()
             .map(|(l, _)| left.schema.position_of(*l).expect("left key"))
             .collect();
-        let rpos: Vec<usize> = keys
+        let rcols: Vec<usize> = keys
             .iter()
             .map(|(_, r)| right.schema.position_of(*r).expect("right key"))
             .collect();
-        let key_of = |row: &Tuple, pos: &[usize]| -> Vec<Value> {
-            pos.iter().map(|&i| row[i].clone()).collect()
-        };
-        lrows.sort_by_key(|a| key_of(a, &lpos));
-        rrows.sort_by_key(|a| key_of(a, &rpos));
+        // Sort *positions* by key (values never move).
+        let mut lidx = l_b.positions();
+        lidx.sort_by(|&a, &b| l_b.cmp_keys(a, &lcols, &l_b, b, &lcols));
+        let mut ridx = r_b.positions();
+        ridx.sort_by(|&a, &b| r_b.cmp_keys(a, &rcols, &r_b, b, &rcols));
         // Charge the sorts.
-        self.meter
-            .charge_cpu(&self.model, lrows.len() + rrows.len());
+        meter.charge_cpu(self.model, lidx.len() + ridx.len());
         let combined = left.schema.concat(&right.schema);
         let out_positions = positions_for(&combined, &plan.schema);
-        let mut out = Vec::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut joined = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
-        while i < lrows.len() && j < rrows.len() {
-            let lk = key_of(&lrows[i], &lpos);
-            let rk = key_of(&rrows[j], &rpos);
-            match lk.cmp(&rk) {
+        while i < lidx.len() && j < ridx.len() {
+            match l_b.cmp_keys(lidx[i], &lcols, &r_b, ridx[j], &rcols) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    // Cross product of the equal-key groups.
-                    let i_end = (i..lrows.len())
-                        .take_while(|&x| key_of(&lrows[x], &lpos) == lk)
-                        .last()
-                        .unwrap()
-                        + 1;
-                    let j_end = (j..rrows.len())
-                        .take_while(|&x| key_of(&rrows[x], &rpos) == rk)
-                        .last()
-                        .unwrap()
-                        + 1;
-                    for lrow in &lrows[i..i_end] {
-                        for rrow in &rrows[j..j_end] {
-                            let joined = mvmqo_relalg::tuple::concat_tuples(lrow, rrow);
-                            if residual.is_true() || residual.matches(&joined, &combined) {
-                                out.push(project_positions(&joined, &out_positions));
+                    // Cross product of the equal-key runs.
+                    let mut i_end = i + 1;
+                    while i_end < lidx.len()
+                        && l_b.cmp_keys(lidx[i_end], &lcols, &l_b, lidx[i], &lcols)
+                            == std::cmp::Ordering::Equal
+                    {
+                        i_end += 1;
+                    }
+                    let mut j_end = j + 1;
+                    while j_end < ridx.len()
+                        && r_b.cmp_keys(ridx[j_end], &rcols, &r_b, ridx[j], &rcols)
+                            == std::cmp::Ordering::Equal
+                    {
+                        j_end += 1;
+                    }
+                    // NULL sorts equal to NULL but a NULL key matches
+                    // nothing in SQL semantics (the hash join and the
+                    // reference evaluator agree); skip the run.
+                    if l_b.any_null(lidx[i], &lcols) {
+                        i = i_end;
+                        j = j_end;
+                        continue;
+                    }
+                    for &lp in &lidx[i..i_end] {
+                        for &rp in &ridx[j..j_end] {
+                            if !residual.is_true() {
+                                concat_row(&l_b, lp, &r_b, rp, &mut joined);
+                                if !residual.matches(&joined, &combined) {
+                                    continue;
+                                }
                             }
+                            pairs.push((lp, rp));
                         }
                     }
                     i = i_end;
@@ -675,111 +952,418 @@ impl<'a> Runtime<'a> {
                 }
             }
         }
-        self.meter.charge_cpu(&self.model, out.len());
-        out
+        meter.charge_cpu(self.model, pairs.len());
+        Batch::gather_pairs(&l_b, &r_b, &pairs, plan.schema.clone(), &out_positions)
     }
 
     fn eval_nl_join(
-        &mut self,
+        &self,
         plan: &PhysPlan,
         left: &PhysPlan,
         right: &PhysPlan,
         pred: &Predicate,
-    ) -> Vec<Tuple> {
-        let lrows = self.eval(left);
-        let rrows = self.eval(right);
+        meter: &mut Meter,
+    ) -> Batch {
+        let l_b = self.eval(left, meter);
+        let r_b = self.eval(right, meter);
         let combined = left.schema.concat(&right.schema);
         let out_positions = positions_for(&combined, &plan.schema);
-        let mut out = Vec::new();
-        for l in &lrows {
-            for r in &rrows {
-                let joined = mvmqo_relalg::tuple::concat_tuples(l, r);
-                if pred.is_true() || pred.matches(&joined, &combined) {
-                    out.push(project_positions(&joined, &out_positions));
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut joined = Vec::new();
+        for i in 0..l_b.num_rows() {
+            let lp = l_b.physical(i);
+            for j in 0..r_b.num_rows() {
+                let rp = r_b.physical(j);
+                if !pred.is_true() {
+                    concat_row(&l_b, lp, &r_b, rp, &mut joined);
+                    if !pred.matches(&joined, &combined) {
+                        continue;
+                    }
                 }
+                pairs.push((lp, rp));
             }
         }
-        self.meter.charge_cpu(
-            &self.model,
-            lrows.len() * rrows.len().max(1) / 10 + out.len(),
+        meter.charge_cpu(
+            self.model,
+            l_b.num_rows() * r_b.num_rows().max(1) / 10 + pairs.len(),
         );
-        out
+        Batch::gather_pairs(&l_b, &r_b, &pairs, plan.schema.clone(), &out_positions)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn eval_index_nl_join(
-        &mut self,
+        &self,
         plan: &PhysPlan,
         outer: &PhysPlan,
         inner: StoredRef,
         keys: (AttrId, AttrId),
         inner_filter: &Predicate,
         residual: &Predicate,
-    ) -> Vec<Tuple> {
-        let outer_rows = self.eval(outer);
-        let okey_pos = outer.schema.position_of(keys.0).expect("outer key");
-        // Snapshot the inner; probing goes through its index, created on
-        // demand if the optimizer assumed one. (The clone keeps the borrow
-        // checker happy across the recursive evaluator; at the simulation
-        // scales this executor targets it is not a bottleneck.)
-        let inner_table = {
-            let t = self.stored_table_mut(inner);
-            if t.index_on(keys.1).is_none() {
-                t.create_index(keys.1, IndexKind::Hash);
-            }
-            t.clone()
-        };
-        let inner_schema = inner_table.schema().clone();
-        let combined = outer.schema.concat(&inner_schema);
+        meter: &mut Meter,
+    ) -> Batch {
+        let outer_b = self.eval(outer, meter);
+        let okey_col = outer.schema.position_of(keys.0).expect("outer key");
+        // The inner is probed *in place* through its index — no snapshot.
+        // `Runtime::prepare` already created the index the optimizer
+        // assumed.
+        let inner_table = self.stored(inner);
+        let inner_schema = inner_table.schema();
+        let idx = inner_table
+            .index_on(keys.1)
+            .expect("inner index prepared before evaluation");
+        let combined = outer.schema.concat(inner_schema);
         let out_positions = positions_for(&combined, &plan.schema);
-        let idx = inner_table.index_on(keys.1).expect("inner index");
-        let mut out = Vec::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         let mut pages = 0usize;
-        for orow in &outer_rows {
-            let key = &orow[okey_pos];
-            if key.is_null() {
+        let mut joined = Vec::new();
+        let key_column = outer_b.column(okey_col);
+        for i in 0..outer_b.num_rows() {
+            let op = outer_b.physical(i) as usize;
+            if key_column.is_null(op) {
                 continue;
             }
-            for &pos in idx.lookup_eq(key) {
+            let key = key_column.value(op);
+            for &pos in idx.lookup_eq(&key) {
                 let irow = inner_table.row(pos);
-                if !inner_filter.is_true() && !inner_filter.matches(irow, &inner_schema) {
+                if !inner_filter.is_true() && !inner_filter.matches(irow, inner_schema) {
                     continue;
                 }
                 pages += 1;
-                let joined = mvmqo_relalg::tuple::concat_tuples(orow, irow);
-                if residual.is_true() || residual.matches(&joined, &combined) {
-                    out.push(project_positions(&joined, &out_positions));
+                if !residual.is_true() {
+                    outer_b.write_row(op as u32, &mut joined);
+                    joined.extend(irow.iter().cloned());
+                    if !residual.matches(&joined, &combined) {
+                        continue;
+                    }
                 }
+                pairs.push((op as u32, pos));
             }
         }
-        self.meter.charge_probes(
-            &self.model,
-            outer_rows.len(),
+        meter.charge_probes(
+            self.model,
+            outer_b.num_rows(),
             pages,
             inner_table.len(),
             inner_schema.row_width(),
         );
-        out
+        // Output: outer columns gather by pair positions; inner columns
+        // are built from the stored rows at the matched positions.
+        let outer_width = outer.schema.len();
+        let outer_idx: Vec<u32> = pairs.iter().map(|&(o, _)| o).collect();
+        let columns: Vec<Column> = out_positions
+            .iter()
+            .map(|&p| {
+                if p < outer_width {
+                    outer_b.column(p).gather(&outer_idx)
+                } else {
+                    let inner_col = p - outer_width;
+                    let dt = inner_schema.attrs()[inner_col].data_type;
+                    let mut col = Column::with_capacity(dt, pairs.len());
+                    for &(_, ipos) in &pairs {
+                        col.push(&inner_table.row(ipos)[inner_col]);
+                    }
+                    col
+                }
+            })
+            .collect();
+        Batch::from_columns(plan.schema.clone(), columns)
     }
 
-    /// Resolve a stored relation reference (immutable).
-    fn stored_table(&mut self, target: StoredRef) -> &StoredTable {
-        match target {
-            StoredRef::Base(t) => self.db.base(t).expect("base table loaded"),
-            StoredRef::Mat(e) => self.materialize(e),
+    fn eval_hash_aggregate(
+        &self,
+        plan: &PhysPlan,
+        input: &PhysPlan,
+        group_by: &[AttrId],
+        aggs: &[AggSpec],
+        meter: &mut Meter,
+    ) -> Batch {
+        let in_b = self.eval(input, meter);
+        meter.charge_cpu(self.model, in_b.num_rows());
+        let key_cols: Vec<usize> = group_by
+            .iter()
+            .map(|g| input.schema.position_of(*g).expect("group attr"))
+            .collect();
+        // Aggregate inputs: direct column reads for plain columns, scratch
+        // row for general expressions.
+        enum AggInput<'p> {
+            Col(usize),
+            Expr(&'p ScalarExpr),
         }
+        let agg_inputs: Vec<AggInput> = aggs
+            .iter()
+            .map(|s| match &s.input {
+                ScalarExpr::Col(id) => match input.schema.position_of(*id) {
+                    Some(pos) => AggInput::Col(pos),
+                    None => AggInput::Expr(&s.input),
+                },
+                e => AggInput::Expr(e),
+            })
+            .collect();
+        // Group table keyed by borrowed column positions: per distinct key,
+        // a representative physical row and the accumulators.
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut groups: Vec<(u32, Vec<Accumulator>)> = Vec::new();
+        let mut scratch = Vec::new();
+        for i in 0..in_b.num_rows() {
+            let phys = in_b.physical(i);
+            let h = in_b.hash_keys(phys, &key_cols);
+            let ids = buckets.entry(h).or_default();
+            let gid =
+                match ids.iter().copied().find(|&g| {
+                    in_b.keys_eq(groups[g as usize].0, &key_cols, &in_b, phys, &key_cols)
+                }) {
+                    Some(g) => g as usize,
+                    None => {
+                        let g = groups.len();
+                        groups.push((
+                            phys,
+                            aggs.iter().map(|s| Accumulator::new(s.func)).collect(),
+                        ));
+                        ids.push(g as u32);
+                        g
+                    }
+                };
+            let mut scratch_filled = false;
+            for (k, ai) in agg_inputs.iter().enumerate() {
+                let v = match ai {
+                    AggInput::Col(c) => in_b.column(*c).value(phys as usize),
+                    AggInput::Expr(e) => {
+                        if !scratch_filled {
+                            in_b.write_row(phys, &mut scratch);
+                            scratch_filled = true;
+                        }
+                        e.eval(&scratch, &input.schema)
+                    }
+                };
+                groups[gid].1[k].add(&v);
+            }
+        }
+        // Output rows: group key columns followed by aggregate values,
+        // sorted — matching the row executor's deterministic order.
+        let mut out_rows: Vec<Tuple> = groups
+            .iter()
+            .map(|(rep, accs)| {
+                let mut row: Tuple = key_cols
+                    .iter()
+                    .map(|&c| in_b.column(c).value(*rep as usize))
+                    .collect();
+                row.extend(accs.iter().map(Accumulator::finish));
+                row
+            })
+            .collect();
+        out_rows.sort();
+        Batch::from_rows(plan.schema.clone(), &out_rows)
     }
 
-    /// Resolve a stored relation reference (mutable, for on-demand index
-    /// creation).
-    fn stored_table_mut(&mut self, target: StoredRef) -> &mut StoredTable {
-        match target {
-            StoredRef::Base(t) => self.db.base_mut(t).expect("base table loaded"),
-            StoredRef::Mat(e) => {
-                self.materialize(e);
-                self.state.mats.get_mut(&e).expect("materialized")
+    fn eval_distinct(&self, plan: &PhysPlan, input: &PhysPlan, meter: &mut Meter) -> Batch {
+        let in_b = self.eval(input, meter);
+        meter.charge_cpu(self.model, in_b.num_rows());
+        let all_cols: Vec<usize> = (0..in_b.schema().len()).collect();
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut reps: Vec<u32> = Vec::new();
+        for i in 0..in_b.num_rows() {
+            let phys = in_b.physical(i);
+            let h = in_b.hash_keys(phys, &all_cols);
+            let ids = buckets.entry(h).or_default();
+            if !ids
+                .iter()
+                .any(|&r| in_b.keys_eq(r, &all_cols, &in_b, phys, &all_cols))
+            {
+                ids.push(phys);
+                reps.push(phys);
+            }
+        }
+        // Sorted output, as the support-counting distinct produced.
+        let mut out_rows: Vec<Tuple> = reps
+            .iter()
+            .map(|&r| {
+                let mut row = Vec::with_capacity(in_b.schema().len());
+                in_b.write_row(r, &mut row);
+                row
+            })
+            .collect();
+        out_rows.sort();
+        Batch::from_rows(plan.schema.clone(), &out_rows)
+    }
+}
+
+/// Fill `buf` with the concatenation of one physical row from each batch
+/// (residual-predicate evaluation during joins).
+fn concat_row(left: &Batch, l: u32, right: &Batch, r: u32, buf: &mut Vec<Value>) {
+    buf.clear();
+    for c in 0..left.schema().len() {
+        buf.push(left.column(c).value(l as usize));
+    }
+    for c in 0..right.schema().len() {
+        buf.push(right.column(c).value(r as usize));
+    }
+}
+
+// ======================================================================
+// Parallel scheduling support
+// ======================================================================
+
+/// Evaluate several plans concurrently against one prepared runtime state.
+/// Spawns at most 16 scoped worker threads; results come back in plan
+/// order, each with its own meter so charges can be absorbed
+/// deterministically by the caller.
+pub(crate) fn eval_parallel(rt: &Runtime<'_>, plans: &[&PhysPlan]) -> Vec<(Batch, Meter)> {
+    if plans.is_empty() {
+        return Vec::new();
+    }
+    if plans.len() == 1 {
+        let mut m = Meter::new();
+        let b = rt.eval_ctx().eval(plans[0], &mut m);
+        return vec![(b, m)];
+    }
+    let ctx = rt.eval_ctx();
+    // No more workers than plans, hardware threads, or 16 — spawning past
+    // the core count only buys context-switch overhead.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = plans.len().min(16).min(cores.max(1));
+    let mut slots: Vec<Option<(Batch, Meter)>> = (0..plans.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < plans.len() {
+                        let mut m = Meter::new();
+                        let b = ctx.eval(plans[i], &mut m);
+                        out.push((i, b, m));
+                        i += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, b, m) in h.join().expect("executor worker thread panicked") {
+                slots[i] = Some((b, m));
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every plan evaluated"))
+        .collect()
+}
+
+/// Stored materialized results a plan reads ([`PlanNode::ReadMat`], index
+/// scans over materializations, index-NL inners) — the dependency edges
+/// the parallel scheduler levels by.
+pub(crate) fn mat_refs(plan: &PhysPlan) -> Vec<EqId> {
+    fn walk(plan: &PhysPlan, out: &mut Vec<EqId>) {
+        match &plan.node {
+            PlanNode::ReadMat(e) => out.push(*e),
+            PlanNode::IndexScan { target, .. } => {
+                if let StoredRef::Mat(e) = target {
+                    out.push(*e);
+                }
+            }
+            PlanNode::IndexNlJoin { outer, inner, .. } => {
+                if let StoredRef::Mat(e) = inner {
+                    out.push(*e);
+                }
+                walk(outer, out);
+            }
+            PlanNode::ScanBase(_) | PlanNode::ScanDelta { .. } | PlanNode::ReadDelta(..) => {}
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::HashAggregate { input, .. }
+            | PlanNode::Distinct { input } => walk(input, out),
+            PlanNode::HashJoin { build, probe, .. } => {
+                walk(build, out);
+                walk(probe, out);
+            }
+            PlanNode::MergeJoin { left, right, .. }
+            | PlanNode::NlJoin { left, right, .. }
+            | PlanNode::Minus { left, right } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            PlanNode::UnionAll(inputs) => {
+                for i in inputs {
+                    walk(i, out);
+                }
             }
         }
     }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
+}
+
+/// Temporarily stored differentials of update `u` a plan reads
+/// ([`PlanNode::ReadDelta`]) — intra-step dependency edges.
+pub(crate) fn delta_refs(plan: &PhysPlan, u: UpdateId) -> Vec<EqId> {
+    fn walk(plan: &PhysPlan, u: UpdateId, out: &mut Vec<EqId>) {
+        match &plan.node {
+            PlanNode::ReadDelta(e, du) => {
+                if *du == u {
+                    out.push(*e);
+                }
+            }
+            PlanNode::ScanBase(_)
+            | PlanNode::ScanDelta { .. }
+            | PlanNode::ReadMat(_)
+            | PlanNode::IndexScan { .. } => {}
+            PlanNode::IndexNlJoin { outer, .. } => walk(outer, u, out),
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::HashAggregate { input, .. }
+            | PlanNode::Distinct { input } => walk(input, u, out),
+            PlanNode::HashJoin { build, probe, .. } => {
+                walk(build, u, out);
+                walk(probe, u, out);
+            }
+            PlanNode::MergeJoin { left, right, .. }
+            | PlanNode::NlJoin { left, right, .. }
+            | PlanNode::Minus { left, right } => {
+                walk(left, u, out);
+                walk(right, u, out);
+            }
+            PlanNode::UnionAll(inputs) => {
+                for i in inputs {
+                    walk(i, u, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, u, &mut out);
+    out
+}
+
+/// Topologically level `items` by `deps_of` (edges must point at other
+/// items in the slice): every item lands in the first level after all of
+/// its dependencies. Falls back to one final level for any remainder (a
+/// cycle would be a planner bug; executing the remainder serially in one
+/// level keeps behaviour defined).
+pub(crate) fn level_items<F>(items: &[EqId], deps_of: F) -> Vec<Vec<EqId>>
+where
+    F: Fn(EqId) -> Vec<EqId>,
+{
+    let mut placed: HashSet<EqId> = HashSet::new();
+    let mut remaining: Vec<EqId> = items.to_vec();
+    let mut levels = Vec::new();
+    while !remaining.is_empty() {
+        let in_remaining: HashSet<EqId> = remaining.iter().copied().collect();
+        let (ready, rest): (Vec<EqId>, Vec<EqId>) = remaining.iter().copied().partition(|&e| {
+            deps_of(e)
+                .into_iter()
+                .all(|d| placed.contains(&d) || !in_remaining.contains(&d))
+        });
+        if ready.is_empty() {
+            levels.push(rest);
+            break;
+        }
+        placed.extend(ready.iter().copied());
+        levels.push(ready);
+        remaining = rest;
+    }
+    levels
 }
 
 /// Reorder rows from one schema layout to another (same attribute set).

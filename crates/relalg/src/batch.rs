@@ -1,0 +1,931 @@
+//! Columnar batches: the vectorized executor's data representation.
+//!
+//! A [`Batch`] is a struct-of-arrays multiset: one typed [`Column`] per
+//! schema attribute plus an optional *selection vector* mapping logical row
+//! order onto physical positions. Filters and projections update the
+//! selection or reorder columns without touching values; only operators
+//! that genuinely create new rows (join output, union, aggregation) gather
+//! cells. `from_rows`/`to_rows` bridge to the storage layer's row
+//! representation at plan boundaries.
+//!
+//! Hashing and comparison at a position replicate [`Value`] semantics
+//! exactly (numeric `Int`/`Float` cross-equality, NULL greatest and equal
+//! only to itself) so a borrowed-key hash table built over columns agrees
+//! with the row-at-a-time reference executor.
+
+use crate::expr::{CmpOp, Predicate, ScalarExpr};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::types::{DataType, Value};
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Physical storage of one column's values.
+///
+/// Typed vectors are the fast path; [`ColumnData::Mixed`] is the safety
+/// net for columns whose runtime values stray from the declared type
+/// (e.g. integral SUM outputs flowing through a FLOAT schema slot) and
+/// keeps semantics identical to row execution.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<Arc<str>>),
+    Date(Vec<i32>),
+    Bool(Vec<bool>),
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    fn new(dt: DataType) -> ColumnData {
+        match dt {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str(Vec::new()),
+            DataType::Date => ColumnData::Date(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+        }
+    }
+
+    fn with_capacity(dt: DataType, n: usize) -> ColumnData {
+        match dt {
+            DataType::Int => ColumnData::Int(Vec::with_capacity(n)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(n)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(n)),
+            DataType::Date => ColumnData::Date(Vec::with_capacity(n)),
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(n)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+
+    /// Convert the typed payload to the `Mixed` fallback (type drift).
+    fn to_mixed(&self, nulls: Option<&[bool]>) -> Vec<Value> {
+        let null_at = |i: usize| nulls.is_some_and(|n| n[i]);
+        let get = |i: usize| -> Value {
+            if null_at(i) {
+                Value::Null
+            } else {
+                match self {
+                    ColumnData::Int(v) => Value::Int(v[i]),
+                    ColumnData::Float(v) => Value::Float(v[i]),
+                    ColumnData::Str(v) => Value::Str(v[i].clone()),
+                    ColumnData::Date(v) => Value::Date(v[i]),
+                    ColumnData::Bool(v) => Value::Bool(v[i]),
+                    ColumnData::Mixed(v) => v[i].clone(),
+                }
+            }
+        };
+        (0..self.len()).map(get).collect()
+    }
+}
+
+/// One column: typed values plus an optional null mask (`true` = NULL).
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    nulls: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// An empty column of declared type `dt`.
+    pub fn new(dt: DataType) -> Column {
+        Column {
+            data: ColumnData::new(dt),
+            nulls: None,
+        }
+    }
+
+    pub fn with_capacity(dt: DataType, n: usize) -> Column {
+        Column {
+            data: ColumnData::with_capacity(dt, n),
+            nulls: None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.data {
+            ColumnData::Mixed(v) => v[i].is_null(),
+            _ => self.nulls.as_ref().is_some_and(|n| n[i]),
+        }
+    }
+
+    fn set_null_tail(&mut self) {
+        let len = self.data.len();
+        let nulls = self.nulls.get_or_insert_with(|| vec![false; len - 1]);
+        // Pad for values appended while the mask did not exist yet.
+        nulls.resize(len, false);
+        nulls[len - 1] = true;
+    }
+
+    /// Append one value, demoting the column to `Mixed` if the value does
+    /// not fit the physical type.
+    pub fn push(&mut self, v: &Value) {
+        match (&mut self.data, v) {
+            (ColumnData::Int(c), Value::Int(x)) => c.push(*x),
+            (ColumnData::Float(c), Value::Float(x)) => c.push(*x),
+            (ColumnData::Str(c), Value::Str(x)) => c.push(x.clone()),
+            (ColumnData::Date(c), Value::Date(x)) => c.push(*x),
+            (ColumnData::Bool(c), Value::Bool(x)) => c.push(*x),
+            (ColumnData::Mixed(c), v) => c.push(v.clone()),
+            (data, Value::Null) if !matches!(data, ColumnData::Mixed(_)) => {
+                // NULL in a typed column: default payload + mask bit.
+                match data {
+                    ColumnData::Int(c) => c.push(0),
+                    ColumnData::Float(c) => c.push(0.0),
+                    ColumnData::Str(c) => c.push(Arc::from("")),
+                    ColumnData::Date(c) => c.push(0),
+                    ColumnData::Bool(c) => c.push(false),
+                    ColumnData::Mixed(_) => unreachable!(),
+                }
+                self.set_null_tail();
+                return;
+            }
+            (data, v) => {
+                // Type drift: demote to Mixed and retry.
+                let mixed = data.to_mixed(self.nulls.as_deref());
+                *data = ColumnData::Mixed(mixed);
+                self.nulls = None;
+                if let ColumnData::Mixed(c) = data {
+                    c.push(v.clone());
+                }
+                return;
+            }
+        }
+        if let Some(n) = self.nulls.as_mut() {
+            n.push(false);
+        }
+    }
+
+    /// Materialize the value at physical position `i`.
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Hash the value at `i` exactly as [`Value::hash`] would (so `Int(2)`
+    /// and `Float(2.0)` collide, NULL has its own tag) — the contract the
+    /// borrowed-key hash join relies on.
+    pub fn hash_value<H: Hasher>(&self, i: usize, state: &mut H) {
+        if self.is_null(i) {
+            state.write_u8(4);
+            return;
+        }
+        match &self.data {
+            ColumnData::Int(v) => {
+                state.write_u8(1);
+                state.write_u64((v[i] as f64).to_bits());
+            }
+            ColumnData::Float(v) => {
+                state.write_u8(1);
+                state.write_u64(v[i].to_bits());
+            }
+            ColumnData::Str(v) => {
+                state.write_u8(3);
+                v[i].hash(state);
+            }
+            ColumnData::Date(v) => {
+                state.write_u8(2);
+                state.write_i32(v[i]);
+            }
+            ColumnData::Bool(v) => {
+                state.write_u8(0);
+                state.write_u8(v[i] as u8);
+            }
+            ColumnData::Mixed(v) => v[i].hash(state),
+        }
+    }
+
+    /// Compare positions across columns with [`Value`] total-order
+    /// semantics, without materializing values on the typed fast paths.
+    pub fn cmp_at(&self, i: usize, other: &Column, j: usize) -> Ordering {
+        match (self.is_null(i), other.is_null(j)) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Greater,
+            (false, true) => return Ordering::Less,
+            (false, false) => {}
+        }
+        match (&self.data, &other.data) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => a[i].cmp(&b[j]),
+            (ColumnData::Float(a), ColumnData::Float(b)) => a[i].total_cmp(&b[j]),
+            (ColumnData::Int(a), ColumnData::Float(b)) => (a[i] as f64).total_cmp(&b[j]),
+            (ColumnData::Float(a), ColumnData::Int(b)) => a[i].total_cmp(&(b[j] as f64)),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a[i].cmp(&b[j]),
+            (ColumnData::Date(a), ColumnData::Date(b)) => a[i].cmp(&b[j]),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a[i].cmp(&b[j]),
+            _ => self.value(i).cmp(&other.value(j)),
+        }
+    }
+
+    /// Equality with [`Value`] semantics (`Int`/`Float` numeric equality,
+    /// NULL equal only to NULL — the grouping behaviour).
+    pub fn eq_at(&self, i: usize, other: &Column, j: usize) -> bool {
+        self.cmp_at(i, other, j) == Ordering::Equal
+    }
+
+    /// Compare a position against a constant.
+    pub fn cmp_value(&self, i: usize, v: &Value) -> Ordering {
+        match (&self.data, v) {
+            _ if self.is_null(i) || v.is_null() => {
+                if self.is_null(i) && v.is_null() {
+                    Ordering::Equal
+                } else if self.is_null(i) {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (ColumnData::Int(a), Value::Int(b)) => a[i].cmp(b),
+            (ColumnData::Float(a), Value::Float(b)) => a[i].total_cmp(b),
+            (ColumnData::Int(a), Value::Float(b)) => (a[i] as f64).total_cmp(b),
+            (ColumnData::Float(a), Value::Int(b)) => a[i].total_cmp(&(*b as f64)),
+            (ColumnData::Str(a), Value::Str(b)) => a[i].as_ref().cmp(b.as_ref()),
+            (ColumnData::Date(a), Value::Date(b)) => a[i].cmp(b),
+            (ColumnData::Bool(a), Value::Bool(b)) => a[i].cmp(b),
+            _ => self.value(i).cmp(v),
+        }
+    }
+
+    /// New column holding the values at `idx`, in order.
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        let mut out = Column {
+            data: match &self.data {
+                ColumnData::Int(v) => ColumnData::Int(idx.iter().map(|&i| v[i as usize]).collect()),
+                ColumnData::Float(v) => {
+                    ColumnData::Float(idx.iter().map(|&i| v[i as usize]).collect())
+                }
+                ColumnData::Str(v) => {
+                    ColumnData::Str(idx.iter().map(|&i| v[i as usize].clone()).collect())
+                }
+                ColumnData::Date(v) => {
+                    ColumnData::Date(idx.iter().map(|&i| v[i as usize]).collect())
+                }
+                ColumnData::Bool(v) => {
+                    ColumnData::Bool(idx.iter().map(|&i| v[i as usize]).collect())
+                }
+                ColumnData::Mixed(v) => {
+                    ColumnData::Mixed(idx.iter().map(|&i| v[i as usize].clone()).collect())
+                }
+            },
+            nulls: None,
+        };
+        if let Some(n) = &self.nulls {
+            if idx.iter().any(|&i| n[i as usize]) {
+                out.nulls = Some(idx.iter().map(|&i| n[i as usize]).collect());
+            }
+        }
+        out
+    }
+
+    /// Append `other`'s values at `idx` onto this column (union building).
+    pub fn append_gather(&mut self, other: &Column, idx: &[u32]) {
+        // Same physical representation and no incoming nulls: bulk extend.
+        let no_nulls = other.nulls.is_none() && self.nulls.is_none();
+        match (&mut self.data, &other.data) {
+            (ColumnData::Int(a), ColumnData::Int(b)) if no_nulls => {
+                a.extend(idx.iter().map(|&i| b[i as usize]))
+            }
+            (ColumnData::Float(a), ColumnData::Float(b)) if no_nulls => {
+                a.extend(idx.iter().map(|&i| b[i as usize]))
+            }
+            (ColumnData::Str(a), ColumnData::Str(b)) if no_nulls => {
+                a.extend(idx.iter().map(|&i| b[i as usize].clone()))
+            }
+            (ColumnData::Date(a), ColumnData::Date(b)) if no_nulls => {
+                a.extend(idx.iter().map(|&i| b[i as usize]))
+            }
+            (ColumnData::Bool(a), ColumnData::Bool(b)) if no_nulls => {
+                a.extend(idx.iter().map(|&i| b[i as usize]))
+            }
+            _ => {
+                for &i in idx {
+                    self.push(&other.value(i as usize));
+                }
+            }
+        }
+    }
+}
+
+/// A columnar multiset with an optional selection vector.
+///
+/// Columns are reference-counted, so cloning a batch (e.g. serving a
+/// cached scan) and projecting are O(width), never O(cells).
+#[derive(Debug, Clone)]
+pub struct Batch {
+    schema: Schema,
+    columns: Vec<Arc<Column>>,
+    /// Physical row count of the columns.
+    rows: usize,
+    /// Logical order as physical positions; `None` = identity over all rows.
+    sel: Option<Vec<u32>>,
+}
+
+impl Batch {
+    /// An empty batch of `schema`.
+    pub fn empty(schema: Schema) -> Batch {
+        let columns = schema
+            .attrs()
+            .iter()
+            .map(|a| Arc::new(Column::new(a.data_type)))
+            .collect();
+        Batch {
+            schema,
+            columns,
+            rows: 0,
+            sel: None,
+        }
+    }
+
+    /// Build from row-major tuples (the storage-boundary bridge).
+    pub fn from_rows(schema: Schema, rows: &[Tuple]) -> Batch {
+        let mut columns: Vec<Column> = schema
+            .attrs()
+            .iter()
+            .map(|a| Column::with_capacity(a.data_type, rows.len()))
+            .collect();
+        for row in rows {
+            debug_assert_eq!(row.len(), schema.len());
+            for (c, v) in columns.iter_mut().zip(row) {
+                c.push(v);
+            }
+        }
+        Batch {
+            schema,
+            columns: columns.into_iter().map(Arc::new).collect(),
+            rows: rows.len(),
+            sel: None,
+        }
+    }
+
+    /// Build from already-columnar data (all columns the same length).
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Batch {
+        let rows = columns.first().map_or(0, Column::len);
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        debug_assert_eq!(columns.len(), schema.len());
+        Batch {
+            schema,
+            columns: columns.into_iter().map(Arc::new).collect(),
+            rows,
+            sel: None,
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        self.columns[i].as_ref()
+    }
+
+    /// Logical (selected) row count.
+    pub fn num_rows(&self) -> usize {
+        self.sel.as_ref().map_or(self.rows, Vec::len)
+    }
+
+    /// Physical position of logical row `i`.
+    pub fn physical(&self, i: usize) -> u32 {
+        self.sel.as_ref().map_or(i as u32, |s| s[i])
+    }
+
+    /// Physical positions in logical order.
+    pub fn positions(&self) -> Vec<u32> {
+        match &self.sel {
+            Some(s) => s.clone(),
+            None => (0..self.rows as u32).collect(),
+        }
+    }
+
+    /// Replace the selection vector (positions must be < physical rows).
+    pub fn set_selection(&mut self, sel: Vec<u32>) {
+        debug_assert!(sel.iter().all(|&i| (i as usize) < self.rows));
+        self.sel = Some(sel);
+    }
+
+    /// Keep only logical rows whose *physical* position satisfies `keep` —
+    /// a zero-copy filter.
+    pub fn retain(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        let sel = match self.sel.take() {
+            Some(s) => s.into_iter().filter(|&p| keep(p)).collect(),
+            None => (0..self.rows as u32).filter(|&p| keep(p)).collect(),
+        };
+        self.sel = Some(sel);
+    }
+
+    /// Zero-copy filter by a compiled predicate: the selection vector is
+    /// rebuilt, values are never moved. `scratch` is a reusable row buffer
+    /// for non-columnar conjuncts.
+    pub fn filter(&mut self, pred: &CompiledPredicate, scratch: &mut Vec<Value>) {
+        let columns = &self.columns;
+        let schema = &self.schema;
+        let mut test = |p: u32| pred.matches_cols(columns, schema, p, scratch);
+        let sel = match self.sel.take() {
+            Some(s) => s.into_iter().filter(|&p| test(p)).collect(),
+            None => (0..self.rows as u32).filter(|&p| test(p)).collect(),
+        };
+        self.sel = Some(sel);
+    }
+
+    /// Fill `scratch` with the physical row `phys` (reusable row buffer for
+    /// general predicate/aggregate expressions).
+    pub fn write_row(&self, phys: u32, scratch: &mut Vec<Value>) {
+        scratch.clear();
+        scratch.extend(self.columns.iter().map(|c| c.value(phys as usize)));
+    }
+
+    /// Materialize all logical rows as tuples.
+    pub fn to_rows(&self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.num_rows());
+        for i in 0..self.num_rows() {
+            let p = self.physical(i) as usize;
+            out.push(self.columns.iter().map(|c| c.value(p)).collect());
+        }
+        out
+    }
+
+    /// Materialize, consuming the batch.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.to_rows()
+    }
+
+    /// Reorder/subset columns to `positions` (zero-copy: column handles
+    /// move or are reference-shared). `schema` is the target schema;
+    /// `positions[k]` is the source column for target column `k`.
+    pub fn project(self, schema: Schema, positions: &[usize]) -> Batch {
+        debug_assert_eq!(schema.len(), positions.len());
+        let columns: Vec<Arc<Column>> = positions
+            .iter()
+            .map(|&p| Arc::clone(&self.columns[p]))
+            .collect();
+        Batch {
+            schema,
+            columns,
+            rows: self.rows,
+            sel: self.sel,
+        }
+    }
+
+    /// Reorder columns so the batch is laid out by `to` (same attribute
+    /// multiset assumed for shared ids; extra source columns are dropped).
+    pub fn align(self, to: &Schema) -> Batch {
+        if self.schema.ids() == to.ids() {
+            return self;
+        }
+        let positions: Vec<usize> = to
+            .ids()
+            .iter()
+            .map(|a| {
+                self.schema
+                    .position_of(*a)
+                    .unwrap_or_else(|| panic!("attribute {a} missing during alignment"))
+            })
+            .collect();
+        self.project(to.clone(), &positions)
+    }
+
+    /// Compact the selection away, gathering into dense columns.
+    pub fn compact(self) -> Batch {
+        match &self.sel {
+            None => self,
+            Some(sel) => {
+                let columns = self
+                    .columns
+                    .iter()
+                    .map(|c| Arc::new(c.gather(sel)))
+                    .collect();
+                Batch {
+                    schema: self.schema,
+                    rows: sel.len(),
+                    columns,
+                    sel: None,
+                }
+            }
+        }
+    }
+
+    /// Append another batch of the same schema (multiset union).
+    pub fn append(&mut self, other: &Batch) {
+        debug_assert_eq!(self.schema.ids(), other.schema.ids());
+        // Our own selection must be materialized before appending.
+        if self.sel.is_some() {
+            let compacted = std::mem::replace(self, Batch::empty(Schema::default())).compact();
+            *self = compacted;
+        }
+        let idx = other.positions();
+        for (mine, theirs) in self.columns.iter_mut().zip(&other.columns) {
+            Arc::make_mut(mine).append_gather(theirs, &idx);
+        }
+        self.rows += idx.len();
+    }
+
+    /// Join-output constructor: for each `(l, r)` *physical* pair, the
+    /// concatenated row `left[l] ++ right[r]`, projected onto `out_schema`
+    /// via `positions` (indices into the concatenated layout).
+    pub fn gather_pairs(
+        left: &Batch,
+        right: &Batch,
+        pairs: &[(u32, u32)],
+        out_schema: Schema,
+        positions: &[usize],
+    ) -> Batch {
+        let lw = left.schema.len();
+        let mut columns = Vec::with_capacity(positions.len());
+        let mut idx_l: Option<Vec<u32>> = None;
+        let mut idx_r: Option<Vec<u32>> = None;
+        for &p in positions {
+            if p < lw {
+                let idx = idx_l.get_or_insert_with(|| pairs.iter().map(|&(l, _)| l).collect());
+                columns.push(Arc::new(left.columns[p].gather(idx)));
+            } else {
+                let idx = idx_r.get_or_insert_with(|| pairs.iter().map(|&(_, r)| r).collect());
+                columns.push(Arc::new(right.columns[p - lw].gather(idx)));
+            }
+        }
+        if columns.is_empty() {
+            // Degenerate zero-column schema: row count still matters.
+            return Batch {
+                schema: out_schema,
+                columns,
+                rows: pairs.len(),
+                sel: None,
+            };
+        }
+        Batch {
+            schema: out_schema,
+            rows: pairs.len(),
+            columns,
+            sel: None,
+        }
+    }
+
+    /// Hash the key columns of physical row `phys` ([`Value::hash`]
+    /// semantics, so cross-typed equal keys collide as required).
+    pub fn hash_keys(&self, phys: u32, cols: &[usize]) -> u64 {
+        let mut h = DefaultHasher::new();
+        for &c in cols {
+            self.columns[c].hash_value(phys as usize, &mut h);
+        }
+        h.finish()
+    }
+
+    /// True if any key column is NULL at physical row `phys`.
+    pub fn any_null(&self, phys: u32, cols: &[usize]) -> bool {
+        cols.iter().any(|&c| self.columns[c].is_null(phys as usize))
+    }
+
+    /// Key equality between physical rows of two batches, column-wise.
+    pub fn keys_eq(
+        &self,
+        phys: u32,
+        cols: &[usize],
+        other: &Batch,
+        ophys: u32,
+        ocols: &[usize],
+    ) -> bool {
+        debug_assert_eq!(cols.len(), ocols.len());
+        cols.iter()
+            .zip(ocols)
+            .all(|(&a, &b)| self.columns[a].eq_at(phys as usize, &other.columns[b], ophys as usize))
+    }
+
+    /// Total-order comparison of two physical rows on key columns (merge
+    /// join ordering; matches sorting rows by their key tuples).
+    pub fn cmp_keys(
+        &self,
+        phys: u32,
+        cols: &[usize],
+        other: &Batch,
+        ophys: u32,
+        ocols: &[usize],
+    ) -> Ordering {
+        for (&a, &b) in cols.iter().zip(ocols) {
+            let ord = self.columns[a].cmp_at(phys as usize, &other.columns[b], ophys as usize);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+/// One conjunct of a [`CompiledPredicate`].
+enum Conjunct {
+    /// `col <op> literal` — columnar fast path.
+    ColLit { col: usize, op: CmpOp, lit: Value },
+    /// `col <op> col` — columnar fast path.
+    ColCol { l: usize, op: CmpOp, r: usize },
+    /// Anything else: evaluated on a scratch row.
+    General(ScalarExpr),
+    /// A conjunct that can never hold (NULL literal operand).
+    Never,
+}
+
+/// A predicate compiled against a batch schema: sargable conjuncts run
+/// column-at-a-position, the rest fall back to a reusable scratch row.
+/// Matches [`Predicate::matches`] exactly (NULL comparisons are false).
+pub struct CompiledPredicate {
+    conjuncts: Vec<Conjunct>,
+}
+
+impl CompiledPredicate {
+    pub fn compile(pred: &Predicate, schema: &Schema) -> CompiledPredicate {
+        let conjuncts = pred
+            .conjuncts()
+            .iter()
+            .map(|c| Self::compile_conjunct(c, schema))
+            .collect();
+        CompiledPredicate { conjuncts }
+    }
+
+    fn compile_conjunct(c: &ScalarExpr, schema: &Schema) -> Conjunct {
+        if let ScalarExpr::Cmp { op, lhs, rhs } = c {
+            match (lhs.as_ref(), rhs.as_ref()) {
+                (ScalarExpr::Col(a), ScalarExpr::Lit(v)) => {
+                    if let Some(col) = schema.position_of(*a) {
+                        if v.is_null() {
+                            return Conjunct::Never;
+                        }
+                        return Conjunct::ColLit {
+                            col,
+                            op: *op,
+                            lit: v.clone(),
+                        };
+                    }
+                }
+                (ScalarExpr::Lit(v), ScalarExpr::Col(a)) => {
+                    if let Some(col) = schema.position_of(*a) {
+                        if v.is_null() {
+                            return Conjunct::Never;
+                        }
+                        return Conjunct::ColLit {
+                            col,
+                            op: op.flipped(),
+                            lit: v.clone(),
+                        };
+                    }
+                }
+                (ScalarExpr::Col(a), ScalarExpr::Col(b)) => {
+                    if let (Some(l), Some(r)) = (schema.position_of(*a), schema.position_of(*b)) {
+                        return Conjunct::ColCol { l, op: *op, r };
+                    }
+                }
+                _ => {}
+            }
+        }
+        Conjunct::General(c.clone())
+    }
+
+    /// Evaluate at a physical position. `scratch` is the caller's reusable
+    /// row buffer, filled only if a general conjunct needs it.
+    pub fn matches_at(&self, batch: &Batch, phys: u32, scratch: &mut Vec<Value>) -> bool {
+        self.matches_cols(&batch.columns, &batch.schema, phys, scratch)
+    }
+
+    /// Column-slice form of [`CompiledPredicate::matches_at`] (lets the
+    /// batch filter split its borrows).
+    pub fn matches_cols(
+        &self,
+        columns: &[Arc<Column>],
+        schema: &Schema,
+        phys: u32,
+        scratch: &mut Vec<Value>,
+    ) -> bool {
+        let mut scratch_filled = false;
+        for c in &self.conjuncts {
+            let ok = match c {
+                Conjunct::Never => false,
+                Conjunct::ColLit { col, op, lit } => {
+                    let column = &columns[*col];
+                    !column.is_null(phys as usize) && op.holds(column.cmp_value(phys as usize, lit))
+                }
+                Conjunct::ColCol { l, op, r } => {
+                    let (cl, cr) = (&columns[*l], &columns[*r]);
+                    !cl.is_null(phys as usize)
+                        && !cr.is_null(phys as usize)
+                        && op.holds(cl.cmp_at(phys as usize, cr, phys as usize))
+                }
+                Conjunct::General(e) => {
+                    if !scratch_filled {
+                        scratch.clear();
+                        scratch.extend(columns.iter().map(|c| c.value(phys as usize)));
+                        scratch_filled = true;
+                    }
+                    e.eval(scratch, schema) == Value::Bool(true)
+                }
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrId, Attribute};
+
+    fn schema(specs: &[(u32, DataType)]) -> Schema {
+        Schema::new(
+            specs
+                .iter()
+                .map(|&(i, dt)| Attribute {
+                    id: AttrId(i),
+                    name: format!("a{i}"),
+                    data_type: dt,
+                })
+                .collect(),
+        )
+    }
+
+    fn int_rows(vals: &[&[i64]]) -> Vec<Tuple> {
+        vals.iter()
+            .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_rows() {
+        let s = schema(&[(0, DataType::Int), (1, DataType::Str)]);
+        let rows = vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Null, Value::str("b")],
+            vec![Value::Int(3), Value::Null],
+        ];
+        let b = Batch::from_rows(s, &rows);
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.to_rows(), rows);
+        assert!(b.column(0).is_null(1));
+        assert!(b.column(1).is_null(2));
+    }
+
+    #[test]
+    fn type_drift_demotes_to_mixed() {
+        let s = schema(&[(0, DataType::Int)]);
+        // Declared INT, but a FLOAT value flows through.
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Float(2.5)],
+            vec![Value::Null],
+        ];
+        let b = Batch::from_rows(s, &rows);
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn selection_filters_without_copying() {
+        let s = schema(&[(0, DataType::Int)]);
+        let mut b = Batch::from_rows(s, &int_rows(&[&[1], &[2], &[3], &[4]]));
+        b.retain(|p| p % 2 == 0);
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.to_rows(), int_rows(&[&[1], &[3]]));
+        // Selections compose.
+        b.retain(|p| p == 2);
+        assert_eq!(b.to_rows(), int_rows(&[&[3]]));
+    }
+
+    #[test]
+    fn project_is_column_reorder() {
+        let s = schema(&[(0, DataType::Int), (1, DataType::Int)]);
+        let to = schema(&[(1, DataType::Int), (0, DataType::Int)]);
+        let b = Batch::from_rows(s, &int_rows(&[&[1, 10], &[2, 20]]));
+        let p = b.align(&to);
+        assert_eq!(p.to_rows(), int_rows(&[&[10, 1], &[20, 2]]));
+    }
+
+    #[test]
+    fn append_unions_and_compacts_selections() {
+        let s = schema(&[(0, DataType::Int)]);
+        let mut a = Batch::from_rows(s.clone(), &int_rows(&[&[1], &[2], &[3]]));
+        a.retain(|p| p != 1);
+        let b = Batch::from_rows(s, &int_rows(&[&[9]]));
+        a.append(&b);
+        assert_eq!(a.to_rows(), int_rows(&[&[1], &[3], &[9]]));
+    }
+
+    #[test]
+    fn gather_pairs_builds_join_output() {
+        let ls = schema(&[(0, DataType::Int)]);
+        let rs = schema(&[(1, DataType::Str)]);
+        let out = schema(&[(1, DataType::Str), (0, DataType::Int)]);
+        let l = Batch::from_rows(ls, &int_rows(&[&[1], &[2]]));
+        let r = Batch::from_rows(rs, &[vec![Value::str("x")], vec![Value::str("y")]]);
+        let j = Batch::gather_pairs(&l, &r, &[(0, 1), (1, 0)], out, &[1, 0]);
+        assert_eq!(
+            j.to_rows(),
+            vec![
+                vec![Value::str("y"), Value::Int(1)],
+                vec![Value::str("x"), Value::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_and_eq_follow_value_semantics() {
+        let s = schema(&[(0, DataType::Int)]);
+        let f = schema(&[(1, DataType::Float)]);
+        let a = Batch::from_rows(s, &int_rows(&[&[2]]));
+        let b = Batch::from_rows(f, &[vec![Value::Float(2.0)]]);
+        assert_eq!(a.hash_keys(0, &[0]), b.hash_keys(0, &[0]));
+        assert!(a.keys_eq(0, &[0], &b, 0, &[0]));
+        // NULL keys are detectable.
+        let n = Batch::from_rows(schema(&[(2, DataType::Int)]), &[vec![Value::Null]]);
+        assert!(n.any_null(0, &[0]));
+        // NULL == NULL for grouping.
+        assert!(n.keys_eq(0, &[0], &n, 0, &[0]));
+    }
+
+    #[test]
+    fn compiled_predicate_matches_row_semantics() {
+        let s = schema(&[(0, DataType::Int), (1, DataType::Int)]);
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(5)],
+            vec![Value::Int(7), Value::Int(5)],
+            vec![Value::Null, Value::Int(5)],
+            vec![Value::Int(5), Value::Int(5)],
+        ];
+        let b = Batch::from_rows(s.clone(), &rows);
+        for pred in [
+            Predicate::from_expr(ScalarExpr::col_cmp_lit(AttrId(0), CmpOp::Gt, 2i64)),
+            Predicate::from_expr(ScalarExpr::col_eq_col(AttrId(0), AttrId(1))),
+            Predicate::from_conjuncts(vec![
+                ScalarExpr::col_cmp_lit(AttrId(1), CmpOp::Eq, 5i64),
+                ScalarExpr::col_cmp_lit(AttrId(0), CmpOp::Le, 5i64),
+            ]),
+            // Arithmetic forces the scratch-row fallback.
+            Predicate::from_expr(ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::arith(
+                    crate::expr::ArithOp::Add,
+                    ScalarExpr::col(AttrId(0)),
+                    ScalarExpr::lit(1i64),
+                ),
+                ScalarExpr::col(AttrId(1)),
+            )),
+        ] {
+            let compiled = CompiledPredicate::compile(&pred, &s);
+            let mut scratch = Vec::new();
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    compiled.matches_at(&b, i as u32, &mut scratch),
+                    pred.matches(row, &s),
+                    "pred {pred} row {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn null_literal_conjunct_never_matches() {
+        let s = schema(&[(0, DataType::Int)]);
+        let b = Batch::from_rows(s.clone(), &int_rows(&[&[1]]));
+        let pred = Predicate::from_expr(ScalarExpr::cmp(
+            CmpOp::Eq,
+            ScalarExpr::col(AttrId(0)),
+            ScalarExpr::Lit(Value::Null),
+        ));
+        let compiled = CompiledPredicate::compile(&pred, &s);
+        let mut scratch = Vec::new();
+        assert!(!compiled.matches_at(&b, 0, &mut scratch));
+        assert!(!pred.matches(&[Value::Int(1)], &s));
+    }
+
+    #[test]
+    fn cmp_value_orders_like_value_cmp() {
+        let s = schema(&[(0, DataType::Float)]);
+        let b = Batch::from_rows(s, &[vec![Value::Float(1.5)], vec![Value::Null]]);
+        assert_eq!(b.column(0).cmp_value(0, &Value::Int(2)), Ordering::Less);
+        assert_eq!(b.column(0).cmp_value(0, &Value::Int(1)), Ordering::Greater);
+        assert_eq!(b.column(0).cmp_value(1, &Value::Null), Ordering::Equal);
+        assert_eq!(b.column(0).cmp_value(1, &Value::Int(5)), Ordering::Greater);
+    }
+}

@@ -102,7 +102,7 @@ impl ColumnSpec {
 }
 
 /// The database catalog.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: Vec<TableDef>,
     by_name: HashMap<String, TableId>,

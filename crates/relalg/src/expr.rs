@@ -26,8 +26,14 @@ pub enum CmpOp {
 impl CmpOp {
     /// Evaluate the comparison on two values using the total value order.
     pub fn eval(self, l: &Value, r: &Value) -> bool {
+        self.holds(l.cmp(r))
+    }
+
+    /// Whether an already-computed ordering satisfies this comparison —
+    /// the single truth table shared by row evaluation and the columnar
+    /// compiled-predicate path.
+    pub fn holds(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
-        let ord = l.cmp(r);
         match self {
             CmpOp::Eq => ord == Equal,
             CmpOp::Ne => ord != Equal,

@@ -9,6 +9,8 @@
 //!
 //! * [`types`] — scalar values with a total order (multiset keys),
 //! * [`mod@tuple`] — rows and bag (multiset) helpers,
+//! * [`batch`] — columnar batches (struct-of-arrays + selection vectors)
+//!   for the vectorized executor,
 //! * [`schema`] — globally-unique attribute identities and schemas,
 //! * [`expr`] — scalar expressions and canonical conjunctive predicates,
 //! * [`agg`] — aggregate functions and incremental accumulators,
@@ -20,6 +22,7 @@
 //! `mvmqo-core`.
 
 pub mod agg;
+pub mod batch;
 pub mod catalog;
 pub mod expr;
 pub mod logical;
@@ -29,6 +32,7 @@ pub mod tuple;
 pub mod types;
 
 pub use agg::{AggFunc, AggSpec};
+pub use batch::{Batch, Column, ColumnData, CompiledPredicate};
 pub use catalog::{Catalog, ColumnSpec, ForeignKey, TableDef, TableId};
 pub use expr::{ArithOp, CmpOp, Predicate, ScalarExpr};
 pub use logical::{LogicalExpr, ViewDef};

@@ -132,7 +132,7 @@ impl fmt::Display for Schema {
 }
 
 /// Allocates fresh [`AttrId`]s. The catalog owns one; tests may own their own.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AttrAllocator {
     next: u32,
 }

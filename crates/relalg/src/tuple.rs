@@ -32,11 +32,14 @@ pub fn bag_eq(a: &[Tuple], b: &[Tuple]) -> bool {
 
 /// Multiset difference `a ∸ b` (monus): removes one occurrence from `a` per
 /// occurrence in `b`; occurrences of `b` not present in `a` are ignored.
+///
+/// Single-allocation: the removal counts borrow `b`'s tuples directly (no
+/// per-distinct-key `to_vec`), so the only new storage is the output.
 pub fn bag_minus(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
-    let mut remove = bag_counts(b)
-        .into_iter()
-        .map(|(k, v)| (k.to_vec(), v))
-        .collect::<HashMap<Vec<Value>, i64>>();
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let mut remove = bag_counts(b);
     let mut out = Vec::with_capacity(a.len().saturating_sub(b.len()));
     for r in a {
         match remove.get_mut(r.as_slice()) {

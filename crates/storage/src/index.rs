@@ -57,7 +57,7 @@ impl Index {
         idx
     }
 
-    fn insert(&mut self, key: &Value, pos: u32) {
+    pub(crate) fn insert(&mut self, key: &Value, pos: u32) {
         match self.kind {
             IndexKind::Hash => self.hash.entry(key.clone()).or_default().push(pos),
             IndexKind::BTree => self.tree.entry(key.clone()).or_default().push(pos),

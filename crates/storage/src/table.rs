@@ -10,9 +10,11 @@
 use crate::blocks::BlockConfig;
 use crate::delta::DeltaBatch;
 use crate::index::{Index, IndexKind};
+use mvmqo_relalg::batch::Batch;
 use mvmqo_relalg::schema::{AttrId, Schema};
 use mvmqo_relalg::tuple::{bag_minus, Tuple};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// An in-memory multiset relation with optional secondary indices.
 #[derive(Debug, Clone, Default)]
@@ -20,6 +22,10 @@ pub struct StoredTable {
     schema: Schema,
     rows: Vec<Tuple>,
     indices: HashMap<AttrId, Index>,
+    /// Lazily built columnar image served to the vectorized executor;
+    /// invalidated by every row mutation. Shared (`Arc`) so repeated scans
+    /// of an unchanged relation are O(width), not O(cells).
+    batch: OnceLock<Arc<Batch>>,
 }
 
 impl StoredTable {
@@ -28,6 +34,7 @@ impl StoredTable {
             schema,
             rows: Vec::new(),
             indices: HashMap::new(),
+            batch: OnceLock::new(),
         }
     }
 
@@ -37,6 +44,7 @@ impl StoredTable {
             schema,
             rows,
             indices: HashMap::new(),
+            batch: OnceLock::new(),
         }
     }
 
@@ -59,17 +67,60 @@ impl StoredTable {
     /// Replace the full contents (recomputation path of view refresh).
     pub fn replace_rows(&mut self, rows: Vec<Tuple>) {
         self.rows = rows;
+        self.batch.take();
         self.rebuild_indices();
     }
 
     /// Apply a delta batch: append inserts, remove one occurrence per delete
     /// (multiset semantics), then refresh indices.
+    ///
+    /// Insert-only batches take an incremental path: existing row
+    /// positions are unchanged, so indices absorb just the appended rows —
+    /// O(batch) instead of O(table). The §5.2 epoch numbering applies δ⁺
+    /// and δ⁻ as separate steps, so half of every refresh cycle's base and
+    /// view mutations hit this path. Deletes shift positions (`bag_minus`
+    /// compacts), so delete-bearing batches still rebuild.
     pub fn apply_delta(&mut self, delta: &DeltaBatch) {
-        if !delta.deletes.is_empty() {
-            self.rows = bag_minus(&self.rows, &delta.deletes);
+        if delta.inserts.is_empty() && delta.deletes.is_empty() {
+            return; // nothing changed: keep the cached columnar image
         }
+        if delta.deletes.is_empty() {
+            let start = self.rows.len();
+            self.rows.extend(delta.inserts.iter().cloned());
+            self.batch.take();
+            let attrs: Vec<AttrId> = self.indices.keys().copied().collect();
+            for attr in attrs {
+                let pos = self.schema.position_of(attr).expect("index attr in schema");
+                let idx = self.indices.get_mut(&attr).expect("listed index");
+                for (k, row) in self.rows[start..].iter().enumerate() {
+                    idx.insert(&row[pos], (start + k) as u32);
+                }
+            }
+            return;
+        }
+        self.rows = bag_minus(&self.rows, &delta.deletes);
         self.rows.extend(delta.inserts.iter().cloned());
+        self.batch.take();
         self.rebuild_indices();
+    }
+
+    /// Columnar image of the relation (struct-of-arrays column extraction
+    /// for the vectorized executor). Built on first use, then served from
+    /// a shared cache until the next row mutation.
+    pub fn to_batch(&self) -> Arc<Batch> {
+        Arc::clone(
+            self.batch
+                .get_or_init(|| Arc::new(Batch::from_rows(self.schema.clone(), &self.rows))),
+        )
+    }
+
+    /// Row positions matching `key` through the index on `attr`, if one
+    /// exists — the position-returning probe the executor's index scan
+    /// selects through (never clones the table). Per-row probe loops
+    /// (index nested-loop join) resolve the index once via
+    /// [`StoredTable::index_on`] instead of paying this lookup per tuple.
+    pub fn probe(&self, attr: AttrId, key: &mvmqo_relalg::types::Value) -> Option<&[u32]> {
+        self.indices.get(&attr).map(|idx| idx.lookup_eq(key))
     }
 
     /// Create (or replace) an index on `attr`.
@@ -268,6 +319,40 @@ mod tests {
             }
         }
         assert_eq!(idx.lookup_eq(&Value::Int(2)).len(), 1);
+    }
+
+    #[test]
+    fn to_batch_caches_until_mutation() {
+        let mut tab = StoredTable::with_rows(schema(), vec![t(1, 10), t(2, 20)]);
+        let b1 = tab.to_batch();
+        let b2 = tab.to_batch();
+        assert!(
+            std::sync::Arc::ptr_eq(&b1, &b2),
+            "unchanged table reuses its batch"
+        );
+        assert_eq!(b1.to_rows(), tab.rows());
+        tab.apply_delta(&DeltaBatch::new(vec![t(3, 30)], vec![]));
+        let b3 = tab.to_batch();
+        assert!(
+            !std::sync::Arc::ptr_eq(&b1, &b3),
+            "mutation invalidates the cache"
+        );
+        assert_eq!(b3.num_rows(), 3);
+        tab.replace_rows(vec![t(9, 90)]);
+        assert_eq!(tab.to_batch().num_rows(), 1);
+    }
+
+    #[test]
+    fn probe_returns_positions_without_cloning() {
+        let mut tab = StoredTable::with_rows(schema(), vec![t(1, 10), t(2, 20), t(2, 21)]);
+        assert!(
+            tab.probe(AttrId(0), &Value::Int(2)).is_none(),
+            "no index yet"
+        );
+        tab.create_index(AttrId(0), IndexKind::Hash);
+        let hits = tab.probe(AttrId(0), &Value::Int(2)).unwrap();
+        assert_eq!(hits, &[1, 2]);
+        assert!(tab.probe(AttrId(0), &Value::Int(7)).unwrap().is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `warehouse` — script-driven REPL over the stateful warehouse engine.
 //!
 //! ```text
-//! cargo run -p mvmqo-warehouse --bin warehouse [SCRIPT] [--sf SF] [--seed SEED]
+//! cargo run -p mvmqo-warehouse --bin warehouse [SCRIPT] [--sf SF] [--seed SEED] [--parallel]
 //! ```
 //!
 //! With a SCRIPT argument, executes its lines and exits non-zero on the
@@ -14,14 +14,17 @@ use std::io::{BufRead, Write};
 fn main() {
     let mut sf = 0.002;
     let mut seed = 42u64;
+    let mut parallel = false;
     let mut script: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sf" => sf = parse_or_die(args.next(), "--sf"),
             "--seed" => seed = parse_or_die(args.next(), "--seed"),
+            "--parallel" => parallel = true,
             "--help" | "-h" => {
-                println!("usage: warehouse [SCRIPT] [--sf SF] [--seed SEED]\n");
+                println!("usage: warehouse [SCRIPT] [--sf SF] [--seed SEED] [--parallel]\n");
+                println!("  --parallel   run epochs under the parallel scheduler");
                 println!("{}", mvmqo_warehouse::script::HELP);
                 return;
             }
@@ -36,6 +39,7 @@ fn main() {
     }
 
     let mut session = Session::new(sf, seed);
+    session.warehouse.set_parallel(parallel);
     match script {
         Some(path) => run_script(&mut session, &path),
         None => repl(&mut session),

@@ -19,7 +19,8 @@ use mvmqo_core::cost::CostModel;
 use mvmqo_core::opt::GreedyOptions;
 use mvmqo_core::update::UpdateModel;
 use mvmqo_exec::{
-    align_rows, eval_logical, execute_epoch, index_plan_from_report, IndexPlan, RuntimeState,
+    align_rows, eval_logical, execute_epoch_opts, index_plan_from_report, ExecOptions, IndexPlan,
+    RuntimeState,
 };
 use mvmqo_relalg::catalog::{Catalog, TableId};
 use mvmqo_relalg::logical::ViewDef;
@@ -87,6 +88,7 @@ pub struct Warehouse {
     cost_model: CostModel,
     options: GreedyOptions,
     policy: ReoptPolicy,
+    exec_options: ExecOptions,
     plan: Option<PlanState>,
     pending: DeltaSet,
     /// Tuples ingested since the last re-optimization (drift measure).
@@ -99,8 +101,10 @@ pub struct Warehouse {
     observed: BTreeMap<TableId, (f64, f64)>,
     /// Per-table availability (stored multiplicity + queued inserts −
     /// queued deletes), built lazily on the first delete-bearing ingest of
-    /// an epoch and updated incrementally after — so repeated ingests pay
-    /// O(batch), not O(base table). Cleared when the epoch applies.
+    /// a table and updated incrementally on every later ingest — so
+    /// repeated ingests pay O(batch), not O(base table). Epoch application
+    /// moves queued counts into stored counts without changing totals, so
+    /// the cache persists across epochs (dead entries are pruned).
     avail_cache: HashMap<TableId, HashMap<Tuple, i64>>,
     replans: Vec<(u64, ReoptTrigger)>,
 }
@@ -116,6 +120,7 @@ impl Warehouse {
             cost_model: CostModel::default(),
             options: GreedyOptions::default(),
             policy: ReoptPolicy::default(),
+            exec_options: ExecOptions::default(),
             plan: None,
             pending: DeltaSet::new(),
             ingested_since_plan: 0,
@@ -141,6 +146,25 @@ impl Warehouse {
     pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
         self.cost_model = cost_model;
         self
+    }
+
+    /// Select the epoch scheduler: `true` executes independent plan roots
+    /// of each phase on scoped threads (results are bag-identical to
+    /// serial execution). Exposed on the CLI as `--parallel` and the
+    /// `parallel on|off` session command.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.exec_options.parallel = parallel;
+        self
+    }
+
+    /// Flip the scheduler between epochs.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.exec_options.parallel = parallel;
+    }
+
+    /// True when epochs run under the parallel scheduler.
+    pub fn parallel(&self) -> bool {
+        self.exec_options.parallel
     }
 
     // ==================================================================
@@ -314,7 +338,7 @@ impl Warehouse {
         };
 
         let plan = self.plan.as_mut().expect("views exist, so a plan exists");
-        let exec = execute_epoch(
+        let exec = execute_epoch_opts(
             &plan.planned.dag,
             &self.catalog,
             self.cost_model,
@@ -323,6 +347,7 @@ impl Warehouse {
             &plan.planned.report.program,
             &plan.index_plan,
             &mut plan.state,
+            self.exec_options,
         );
         plan.epochs_run += 1;
         let report = EpochReport {
@@ -360,7 +385,14 @@ impl Warehouse {
         }
         self.observed.retain(|_, (i, d)| *i >= 0.25 || *d >= 0.25);
         self.pending = DeltaSet::new();
-        self.avail_cache.clear();
+        // The availability cache tracks stored + queued multiplicities, and
+        // ingest keeps it current; applying the epoch moves queued counts
+        // into stored counts without changing the totals, so the cache
+        // stays exact across epochs. Only prune dead entries — rebuilding
+        // it would re-hash every base tuple each epoch.
+        for cache in self.avail_cache.values_mut() {
+            cache.retain(|_, c| *c > 0);
+        }
         self.epoch += 1;
         self.history.push(report);
     }

@@ -79,6 +79,7 @@ impl Session {
             "drop" => self.cmd_drop(&words),
             "explain" => Ok(self.warehouse.explain()),
             "tables" => Ok(self.cmd_tables()),
+            "parallel" => self.cmd_parallel(&words),
             "help" => Ok(HELP.to_string()),
             other => Err(format!("unknown command {other:?} (try `help`)")),
         }
@@ -238,6 +239,25 @@ impl Session {
         Ok(format!(
             "dropped {name}; {} views remain",
             self.warehouse.views().len()
+        ))
+    }
+
+    /// `parallel on|off` — switch the epoch scheduler; bare `parallel`
+    /// reports the current setting.
+    fn cmd_parallel(&mut self, words: &[&str]) -> Result<String, String> {
+        match words.get(1) {
+            None => {}
+            Some(&"on") => self.warehouse.set_parallel(true),
+            Some(&"off") => self.warehouse.set_parallel(false),
+            Some(other) => return Err(format!("usage: parallel [on|off] (got {other:?})")),
+        }
+        Ok(format!(
+            "epoch scheduler: {}",
+            if self.warehouse.parallel() {
+                "parallel"
+            } else {
+                "serial"
+            }
         ))
     }
 
@@ -431,6 +451,7 @@ commands:
   verify NAME               check materialization against recomputation
   explain                   current plan, costs, re-optimization history
   tables                    stored relations and row counts
+  parallel [on|off]         switch the epoch scheduler (default serial)
   help                      this text
   # ...                     comment
 ";
@@ -505,6 +526,23 @@ mod tests {
         s.exec_line("epoch").unwrap();
         let out = s.exec_line("verify rev").unwrap();
         assert!(out.contains("consistent"), "{out}");
+    }
+
+    #[test]
+    fn parallel_scheduler_epochs_stay_consistent() {
+        let mut s = session();
+        assert!(s.exec_line("parallel").unwrap().contains("serial"));
+        assert!(s.exec_line("parallel on").unwrap().contains("parallel"));
+        s.exec_line("view locs = lineitem * orders * customer")
+            .unwrap();
+        s.exec_line("view rev = lineitem * orders group o_custkey sum l_extendedprice")
+            .unwrap();
+        s.exec_line("ingest all 10").unwrap();
+        s.exec_line("epoch").unwrap();
+        assert!(s.exec_line("verify locs").unwrap().contains("consistent"));
+        assert!(s.exec_line("verify rev").unwrap().contains("consistent"));
+        assert!(s.exec_line("parallel off").unwrap().contains("serial"));
+        assert!(s.exec_line("parallel bogus").is_err());
     }
 
     #[test]
