@@ -7,7 +7,6 @@
 //! metric — the warehouse's serving cadence.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mvmqo_core::api::optimize;
 use mvmqo_core::api::MaintenanceProblem;
 use mvmqo_core::update::UpdateModel;
 use mvmqo_exec::{execute_program, index_plan_from_report};
@@ -72,8 +71,8 @@ fn bench_epochs(c: &mut Criterion) {
             let problem =
                 MaintenanceProblem::new(views.clone(), updates).with_pk_indices(&tpcd.catalog);
             let initial_indices = problem.initial_indices.clone();
-            let report = optimize(&mut tpcd.catalog, &problem);
-            let (dag, _) = mvmqo_core::api::build_dag(&mut tpcd.catalog, &views);
+            let planned = mvmqo_core::api::plan_maintenance(&mut tpcd.catalog, &problem);
+            let (dag, report) = (planned.dag, planned.report);
             let index_plan = index_plan_from_report(&initial_indices, &report);
             black_box(execute_program(
                 &dag,

@@ -1,15 +1,22 @@
 //! Regenerates every table and figure of the paper's evaluation (§7).
 //!
 //! ```text
-//! figures [section]
+//! figures [section] [--test]
 //!   fig3a | fig3b | fig4a | fig4b | fig5a | fig5b
-//!   opt-time | temp-vs-perm | buffer | ablation | exec-bench | all (default)
+//!   opt-time | opt-bench | temp-vs-perm | buffer | ablation | exec-bench
+//!   all (default)
 //! ```
 //!
 //! `exec-bench` measures the vectorized executor (hash join, aggregation,
 //! full maintenance epochs at TPC-D sf 0.1 — override with
 //! `MVMQO_EXEC_BENCH_SF`) against the row-at-a-time baselines and writes
 //! `BENCH_exec.json`, the perf-trajectory record for this repository.
+//!
+//! `opt-bench` measures *optimization time* — cold pipeline rebuild vs the
+//! re-entrant optimizer session (incremental add-view and delta-drift
+//! replans) on the `many_views` scaling workload — and writes
+//! `BENCH_opt.json`. With `--test` it runs small view counts and fails on
+//! regression (the CI smoke job).
 //!
 //! Output is the series the paper plots: estimated maintenance plan cost
 //! ("Plan Cost (sec)") for NoGreedy vs Greedy across update percentages.
@@ -25,7 +32,13 @@ use mvmqo_core::opt::GreedyOptions;
 use std::time::Instant;
 
 fn main() {
-    let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    let section = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
     let all = section == "all";
     if all || section == "fig3a" {
         let s = run_series(Workload::SingleJoin, &ExperimentConfig::default());
@@ -150,6 +163,9 @@ fn main() {
                 );
             }
         }
+    }
+    if all || section == "opt-bench" {
+        mvmqo_bench::opt_bench::run(test_mode);
     }
     if all || section == "exec-bench" {
         exec_bench();

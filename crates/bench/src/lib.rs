@@ -10,6 +10,7 @@
 //! workload, sweeps update percentages, and runs both optimizers.
 
 pub mod exec_workloads;
+pub mod opt_bench;
 
 use mvmqo_core::api::{optimize, MaintenanceProblem, OptimizerReport};
 use mvmqo_core::cost::CostModel;

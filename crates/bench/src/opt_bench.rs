@@ -1,0 +1,347 @@
+//! Optimization-time benchmark: cold rebuild vs the re-entrant session.
+//!
+//! The paper reports optimization time once, for ten views (§7.2, 31 s on
+//! an UltraSparc 10), and notes it becomes the bottleneck as view sets
+//! grow. This harness measures that axis directly on the `many_views`
+//! scaling workload: for each view-set size it times
+//!
+//! * a **cold** plan (fresh DAG + properties + memo + every benefit),
+//! * an **incremental add** — one view added to an already-planned
+//!   session of the same size, then replanned warm,
+//! * an **incremental restat** — the same session replanned after a
+//!   delta-drift statistics change (same 2n numbering, shifted batch
+//!   sizes),
+//!
+//! and cross-checks plan quality: the warm plan's total maintenance cost
+//! must match the cold plan of the identical problem (divergence is
+//! reported per point in `BENCH_opt.json`).
+
+use mvmqo_core::cost::CostModel;
+use mvmqo_core::opt::GreedyOptions;
+use mvmqo_core::session::{Optimizer, PlanMode};
+use mvmqo_core::update::UpdateModel;
+use mvmqo_relalg::catalog::{Catalog, TableId};
+use mvmqo_relalg::logical::ViewDef;
+use mvmqo_relalg::schema::AttrId;
+use mvmqo_tpcd::{many_views, tpcd_catalog};
+use std::time::Instant;
+
+/// Update percentage of the base problem.
+const BASE_PCT: f64 = 5.0;
+/// Update percentage of the burst tables after the simulated delta drift.
+/// The drift is *localized* — a batch burst lands on the part/partsupp
+/// dimension while the other relations keep their observed rates — which
+/// is the shape a warehouse `DeltaDrift` trigger produces (ingested
+/// batches name specific relations). The incremental optimizer exploits
+/// that locality; a cold rebuild cannot.
+const DRIFT_PCT: f64 = 15.0;
+
+/// One view-set size's measurements (milliseconds, medians).
+#[derive(Debug, Clone)]
+pub struct OptBenchPoint {
+    pub n_views: usize,
+    pub dag_eq_nodes: usize,
+    pub dag_op_nodes: usize,
+    pub cold_ms: f64,
+    /// Add one view to an n-view session and replan warm, vs cold-planning
+    /// the (n+1)-view problem.
+    pub add_incremental_ms: f64,
+    pub add_cold_ms: f64,
+    pub add_cost_divergence: f64,
+    /// Delta-drift restat replanned warm, vs cold-planning at the drifted
+    /// statistics.
+    pub restat_incremental_ms: f64,
+    pub restat_cold_ms: f64,
+    pub restat_cost_divergence: f64,
+}
+
+impl OptBenchPoint {
+    pub fn add_speedup(&self) -> f64 {
+        self.add_cold_ms / self.add_incremental_ms.max(1e-6)
+    }
+
+    pub fn restat_speedup(&self) -> f64 {
+        self.restat_cold_ms / self.restat_incremental_ms.max(1e-6)
+    }
+}
+
+fn pk_indices(catalog: &Catalog, views: &[ViewDef]) -> Vec<(TableId, AttrId)> {
+    mvmqo_core::api::pk_indices_for(catalog, views)
+}
+
+fn update_model(catalog: &Catalog, views: &[ViewDef], pct: f64) -> UpdateModel {
+    let mut tables: Vec<TableId> = views.iter().flat_map(|v| v.expr.base_tables()).collect();
+    tables.sort_unstable();
+    tables.dedup();
+    UpdateModel::percentage(tables, pct, |t| catalog.table(t).stats.rows)
+}
+
+/// The base model with a batch burst on the part/partsupp dimension.
+fn drifted_model(catalog: &Catalog, views: &[ViewDef]) -> UpdateModel {
+    let mut tables: Vec<TableId> = views.iter().flat_map(|v| v.expr.base_tables()).collect();
+    tables.sort_unstable();
+    tables.dedup();
+    let burst: Vec<TableId> = ["part", "partsupp"]
+        .iter()
+        .filter_map(|n| catalog.table_by_name(n).map(|d| d.id))
+        .collect();
+    UpdateModel::new(tables.into_iter().map(|t| {
+        let pct = if burst.contains(&t) {
+            DRIFT_PCT
+        } else {
+            BASE_PCT
+        };
+        let rows = catalog.table(t).stats.rows;
+        (
+            t,
+            (rows * pct / 100.0).round(),
+            (rows * pct / 200.0).round(),
+        )
+    }))
+}
+
+/// Open a session over `views` and cold-plan it (`drifted` selects the
+/// burst update model); returns (session, catalog, elapsed ms, total cost,
+/// dag sizes).
+fn cold_session(views: &[ViewDef], drifted: bool) -> (Optimizer, Catalog, f64, f64, usize, usize) {
+    let mut catalog = tpcd_catalog(0.1).catalog;
+    let start = Instant::now();
+    let mut s = Optimizer::new(CostModel::default(), GreedyOptions::default());
+    s.set_initial_indices(pk_indices(&catalog, views));
+    let model = if drifted {
+        drifted_model(&catalog, views)
+    } else {
+        update_model(&catalog, views, BASE_PCT)
+    };
+    s.set_update_model(model);
+    for v in views {
+        s.add_view(&mut catalog, v);
+    }
+    let outcome = s.plan(&mut catalog);
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(outcome.mode, PlanMode::Cold);
+    let (eqs, ops) = (outcome.report.dag_eq_nodes, outcome.report.dag_op_nodes);
+    (s, catalog, ms, outcome.report.total_cost, eqs, ops)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// How much *worse* than the cold plan the incremental plan is. Warm
+/// starts regularly land in a *better* local optimum than cold greedy
+/// (the prior selection survives jointly where myopic re-selection would
+/// not); an improvement is not a quality defect, so it clamps to zero.
+fn divergence(incremental: f64, cold: f64) -> f64 {
+    ((incremental - cold) / cold.abs().max(1e-12)).max(0.0)
+}
+
+/// Measure one view-set size with `reps` repetitions (median taken).
+pub fn run_point(n: usize, reps: usize) -> OptBenchPoint {
+    let t = tpcd_catalog(0.1);
+    let views = many_views(&t, n + 1);
+    let (base, extra) = (&views[..n], &views[n]);
+
+    let mut cold_ms = Vec::new();
+    let mut add_incr_ms = Vec::new();
+    let mut add_cold_ms = Vec::new();
+    let mut restat_incr_ms = Vec::new();
+    let mut restat_cold_ms = Vec::new();
+    let mut add_div: f64 = 0.0;
+    let mut restat_div: f64 = 0.0;
+    let mut eqs = 0;
+    let mut ops = 0;
+
+    for _ in 0..reps.max(1) {
+        // Cold baseline at size n.
+        let (mut session, mut catalog, base_ms, _, e, o) = cold_session(base, false);
+        cold_ms.push(base_ms);
+        (eqs, ops) = (e, o);
+
+        // Scenario A: add one view, replan warm.
+        let start = Instant::now();
+        session.add_view(&mut catalog, extra);
+        session.set_initial_indices(pk_indices(&catalog, &views[..n + 1]));
+        session.set_update_model(update_model(&catalog, &views[..n + 1], BASE_PCT));
+        let warm_add = session.plan(&mut catalog);
+        add_incr_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(warm_add.mode, PlanMode::Incremental);
+
+        let (_, _, cold_add, cold_add_cost, _, _) = cold_session(&views[..n + 1], false);
+        add_cold_ms.push(cold_add);
+        // Worst rep counts: the record must not understate a quality
+        // regression that only some repetitions hit.
+        add_div = add_div.max(divergence(warm_add.report.total_cost, cold_add_cost));
+
+        // Scenario B: localized delta-drift restat on a fresh n-view
+        // session (batch burst on part/partsupp, other rates unchanged).
+        let (mut session, mut catalog, _, _, _, _) = cold_session(base, false);
+        let start = Instant::now();
+        session.set_update_model(drifted_model(&catalog, base));
+        let warm_restat = session.plan(&mut catalog);
+        restat_incr_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(warm_restat.mode, PlanMode::Incremental);
+
+        let (_, _, cold_restat, cold_restat_cost, _, _) = cold_session(base, true);
+        restat_cold_ms.push(cold_restat);
+        restat_div = restat_div.max(divergence(warm_restat.report.total_cost, cold_restat_cost));
+    }
+
+    OptBenchPoint {
+        n_views: n,
+        dag_eq_nodes: eqs,
+        dag_op_nodes: ops,
+        cold_ms: median(cold_ms),
+        add_incremental_ms: median(add_incr_ms),
+        add_cold_ms: median(add_cold_ms),
+        add_cost_divergence: add_div,
+        restat_incremental_ms: median(restat_incr_ms),
+        restat_cold_ms: median(restat_cold_ms),
+        restat_cost_divergence: restat_div,
+    }
+}
+
+/// Run the full sweep and write `BENCH_opt.json`. `test_mode` shrinks the
+/// sizes for the CI smoke job and asserts the incremental path is no
+/// slower than the cold rebuild (plus plan-quality agreement), so an
+/// optimization-time regression fails the build.
+pub fn run(test_mode: bool) -> Vec<OptBenchPoint> {
+    let sizes: &[usize] = if test_mode {
+        &[6, 12]
+    } else {
+        &[10, 25, 50, 100]
+    };
+    let reps = if test_mode { 1 } else { 3 };
+    println!("== Optimization time: cold rebuild vs re-entrant session");
+    println!(
+        "{:>6} {:>8} {:>8} | {:>9} {:>9} {:>7} {:>8} | {:>9} {:>9} {:>7} {:>8}",
+        "views",
+        "eq",
+        "cold ms",
+        "add-cold",
+        "add-incr",
+        "speedup",
+        "cost-div",
+        "rst-cold",
+        "rst-incr",
+        "speedup",
+        "cost-div"
+    );
+    let mut points = Vec::new();
+    for &n in sizes {
+        let p = run_point(n, reps);
+        println!(
+            "{:>6} {:>8} {:>8.1} | {:>9.1} {:>9.1} {:>6.1}x {:>7.2}% | {:>9.1} {:>9.1} {:>6.1}x {:>7.2}%",
+            p.n_views,
+            p.dag_eq_nodes,
+            p.cold_ms,
+            p.add_cold_ms,
+            p.add_incremental_ms,
+            p.add_speedup(),
+            p.add_cost_divergence * 100.0,
+            p.restat_cold_ms,
+            p.restat_incremental_ms,
+            p.restat_speedup(),
+            p.restat_cost_divergence * 100.0,
+        );
+        if test_mode {
+            assert!(
+                p.add_speedup() >= 1.0,
+                "incremental add-view replan slower than cold rebuild \
+                 ({:.1} ms vs {:.1} ms at {} views)",
+                p.add_incremental_ms,
+                p.add_cold_ms,
+                p.n_views
+            );
+            assert!(
+                p.restat_speedup() >= 1.0,
+                "incremental restat replan slower than cold rebuild \
+                 ({:.1} ms vs {:.1} ms at {} views)",
+                p.restat_incremental_ms,
+                p.restat_cold_ms,
+                p.n_views
+            );
+            assert!(
+                p.add_cost_divergence <= 0.01 && p.restat_cost_divergence <= 0.01,
+                "incremental plan quality diverged beyond 1% at {} views \
+                 (add {:.3}%, restat {:.3}%)",
+                p.n_views,
+                p.add_cost_divergence * 100.0,
+                p.restat_cost_divergence * 100.0
+            );
+        }
+        points.push(p);
+    }
+    write_json(&points, test_mode);
+    points
+}
+
+fn write_json(points: &[OptBenchPoint], test_mode: bool) {
+    if test_mode {
+        return; // the smoke job must not overwrite the recorded trajectory
+    }
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\n      \"views\": {},\n      \"dag_eq_nodes\": {},\n      \
+             \"dag_op_nodes\": {},\n      \"cold_plan_ms\": {:.2},\n      \
+             \"add_view\": {{\n        \"cold_ms\": {:.2},\n        \
+             \"incremental_ms\": {:.2},\n        \"speedup\": {:.2},\n        \
+             \"cost_divergence\": {:.5}\n      }},\n      \
+             \"delta_drift_restat\": {{\n        \"cold_ms\": {:.2},\n        \
+             \"incremental_ms\": {:.2},\n        \"speedup\": {:.2},\n        \
+             \"cost_divergence\": {:.5}\n      }}\n    }}",
+            p.n_views,
+            p.dag_eq_nodes,
+            p.dag_op_nodes,
+            p.cold_ms,
+            p.add_cold_ms,
+            p.add_incremental_ms,
+            p.add_speedup(),
+            p.add_cost_divergence,
+            p.restat_cold_ms,
+            p.restat_incremental_ms,
+            p.restat_speedup(),
+            p.restat_cost_divergence,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"generated_by\": \"figures opt-bench\",\n  \"units\": \"milliseconds, median\",\n  \
+         \"workload\": \"many_views (tpcd, sf 0.1 statistics)\",\n  \
+         \"base_update_percent\": {BASE_PCT},\n  \"drift_update_percent\": {DRIFT_PCT},\n  \
+         \"points\": [\n{rows}\n  ]\n}}\n"
+    );
+    match std::fs::write("BENCH_opt.json", &json) {
+        Ok(()) => println!("wrote BENCH_opt.json"),
+        Err(e) => eprintln!("cannot write BENCH_opt.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn dbg_point50() {
+        let p = run_point(50, 1);
+        println!(
+            "{p:#?} add {:.1}x restat {:.1}x",
+            p.add_speedup(),
+            p.restat_speedup()
+        );
+    }
+
+    #[test]
+    fn tiny_point_runs_and_agrees() {
+        let p = run_point(4, 1);
+        assert_eq!(p.n_views, 4);
+        assert!(p.cold_ms > 0.0);
+        assert!(p.add_cost_divergence <= 0.01, "{p:?}");
+        assert!(p.restat_cost_divergence <= 0.01, "{p:?}");
+    }
+}

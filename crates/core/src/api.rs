@@ -4,8 +4,7 @@
 use crate::cost::CostModel;
 use crate::dag::{add_subsumption_derivations, Dag, EqId, SubsumptionReport};
 use crate::opt::{
-    classify_refresh, run_greedy, Candidate, CostEngine, GreedyOptions, MatSet, Mode,
-    RefreshStrategy, StoredRef,
+    run_greedy, Candidate, CostEngine, GreedyOptions, MatSet, Mode, RefreshStrategy, StoredRef,
 };
 use crate::plan::{extract_program, Program};
 use crate::update::UpdateModel;
@@ -39,19 +38,27 @@ impl MaintenanceProblem {
 
     /// Assume primary-key indices on all tables referenced by the views.
     pub fn with_pk_indices(mut self, catalog: &Catalog) -> Self {
-        let mut tables: Vec<TableId> = Vec::new();
-        for v in &self.views {
-            tables.extend(v.expr.base_tables());
-        }
-        tables.sort_unstable();
-        tables.dedup();
-        for t in tables {
-            for pk in &catalog.table(t).primary_key {
-                self.initial_indices.push((t, *pk));
-            }
-        }
+        self.initial_indices
+            .extend(pk_indices_for(catalog, &self.views));
         self
     }
+}
+
+/// Primary-key indices over every table the views reference — the paper's
+/// §7.1 default physical design. Shared by the one-shot problem builder,
+/// the warehouse engine, and the benchmarks so the convention lives in one
+/// place.
+pub fn pk_indices_for(catalog: &Catalog, views: &[ViewDef]) -> Vec<(TableId, AttrId)> {
+    let mut tables: Vec<TableId> = views.iter().flat_map(|v| v.expr.base_tables()).collect();
+    tables.sort_unstable();
+    tables.dedup();
+    let mut out = Vec::new();
+    for t in tables {
+        for pk in &catalog.table(t).primary_key {
+            out.push((t, *pk));
+        }
+    }
+    out
 }
 
 /// One chosen extra materialization.
@@ -130,36 +137,22 @@ pub struct PlannedMaintenance {
 /// Run the full pipeline and keep the DAG: DAG construction → subsumption →
 /// differential costing → greedy selection → program extraction.
 ///
-/// Re-entrant: may be called repeatedly against the same (evolving) catalog
-/// with different view sets — each call builds a fresh DAG and memo.
+/// One-shot façade over the re-entrant [`crate::session::Optimizer`]: each
+/// call opens a fresh session, cold-plans, and returns the DAG. A caller
+/// that re-plans repeatedly (view churn, statistics drift) should hold the
+/// session itself and pay incremental cost instead.
 pub fn plan_maintenance(catalog: &mut Catalog, problem: &MaintenanceProblem) -> PlannedMaintenance {
-    let start = Instant::now();
-    let (dag, subsumption) = build_dag(catalog, &problem.views);
-    let mut initial = MatSet::default();
-    for root in dag.roots() {
-        initial.full.insert(root.eq);
+    let mut session = crate::session::Optimizer::new(problem.cost_model, problem.options);
+    session.set_initial_indices(problem.initial_indices.clone());
+    session.set_update_model(problem.updates.clone());
+    for v in &problem.views {
+        session.add_view(catalog, v);
     }
-    for (t, a) in &problem.initial_indices {
-        initial.indices.insert((StoredRef::Base(*t), *a));
+    let outcome = session.plan(catalog);
+    PlannedMaintenance {
+        dag: session.into_dag(),
+        report: outcome.report,
     }
-    // When the physical design includes pre-existing (PK) indices, user
-    // views also come with a locator index for delete-merges (the paper's
-    // §7.1 setting). With no initial indices (Figure 5(b)) views start
-    // bare and the greedy phase must earn any index it wants.
-    if !problem.initial_indices.is_empty() {
-        for root in dag.roots() {
-            if let Some(first) = dag.eq(root.eq).schema.ids().first() {
-                initial.indices.insert((StoredRef::Mat(root.eq), *first));
-            }
-        }
-    }
-    let mut engine = CostEngine::new(&dag, catalog, &problem.updates, problem.cost_model, initial);
-    let greedy = run_greedy(&mut engine, &problem.options);
-    let program = extract_program(&engine);
-    let _ = classify_refresh(&engine);
-    let report = summarize(&dag, &engine, &greedy, subsumption, program, start);
-    drop(engine);
-    PlannedMaintenance { dag, report }
 }
 
 /// Run the full pipeline: DAG construction → subsumption → differential
@@ -243,8 +236,9 @@ pub fn optimize_workload(
     (report, query_cost)
 }
 
-/// Shared report assembly for [`optimize`]-style entry points.
-fn summarize(
+/// Shared report assembly for [`optimize`]-style entry points and the
+/// re-entrant session.
+pub(crate) fn summarize(
     dag: &Dag,
     engine: &CostEngine<'_>,
     greedy: &crate::opt::GreedyResult,

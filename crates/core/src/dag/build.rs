@@ -31,15 +31,31 @@ pub struct DagRoot {
 }
 
 /// The AND-OR DAG over all views being maintained.
-#[derive(Debug, Default)]
+///
+/// The arena is **incrementally extensible**: views are inserted one at a
+/// time (reusing every eq/op node the memo already holds) and can be
+/// removed again — [`Dag::remove_view`] detaches the root and
+/// garbage-collects nodes no longer reachable from any remaining root.
+/// Dead slots become tombstones (ids are never reused, so memo slots held
+/// by a long-lived optimizer session stay valid); all iteration and count
+/// accessors see live nodes only, while `*_arena_size` report the physical
+/// extent for id-indexed side tables.
+#[derive(Debug, Clone, Default)]
 pub struct Dag {
     eqs: Vec<EqNode>,
     ops: Vec<OpNode>,
     eq_memo: HashMap<SemKey, EqId>,
     op_memo: HashMap<(OpKind, Vec<EqId>), OpId>,
     roots: Vec<DagRoot>,
-    /// Base tables mentioned anywhere in the DAG, sorted.
+    /// Base tables mentioned anywhere in the live DAG, sorted.
     base_tables: Vec<TableId>,
+    /// Tombstone flags, indexed by id. Empty-prefix semantics: nodes whose
+    /// id is past the end of the vector are live (saves reallocation churn
+    /// during construction).
+    dead_eqs: Vec<bool>,
+    dead_ops: Vec<bool>,
+    dead_eq_count: usize,
+    dead_op_count: usize,
 }
 
 impl Dag {
@@ -59,20 +75,47 @@ impl Dag {
         &self.ops[id.0 as usize]
     }
 
+    /// Live equivalence nodes.
     pub fn eq_count(&self) -> usize {
+        self.eqs.len() - self.dead_eq_count
+    }
+
+    /// Live operation nodes.
+    pub fn op_count(&self) -> usize {
+        self.ops.len() - self.dead_op_count
+    }
+
+    /// Physical arena extent for eq-id-indexed side tables (includes
+    /// tombstones).
+    pub fn eq_arena_size(&self) -> usize {
         self.eqs.len()
     }
 
-    pub fn op_count(&self) -> usize {
+    /// Physical arena extent for op-id-indexed side tables.
+    pub fn op_arena_size(&self) -> usize {
         self.ops.len()
     }
 
-    pub fn eq_ids(&self) -> impl Iterator<Item = EqId> {
-        (0..self.eqs.len() as u32).map(EqId)
+    pub fn eq_is_live(&self, id: EqId) -> bool {
+        !self.dead_eqs.get(id.0 as usize).copied().unwrap_or(false)
     }
 
-    pub fn op_ids(&self) -> impl Iterator<Item = OpId> {
-        (0..self.ops.len() as u32).map(OpId)
+    pub fn op_is_live(&self, id: OpId) -> bool {
+        !self.dead_ops.get(id.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Live equivalence nodes, in id order.
+    pub fn eq_ids(&self) -> impl Iterator<Item = EqId> + '_ {
+        (0..self.eqs.len() as u32)
+            .map(EqId)
+            .filter(|e| self.eq_is_live(*e))
+    }
+
+    /// Live operation nodes, in id order.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len() as u32)
+            .map(OpId)
+            .filter(|o| self.op_is_live(*o))
     }
 
     pub fn roots(&self) -> &[DagRoot] {
@@ -118,6 +161,67 @@ impl Dag {
             eq,
         });
         eq
+    }
+
+    /// Detach a view's root and garbage-collect every node no longer
+    /// reachable from a remaining root. Returns the detached root's eq
+    /// node, or `None` if no root carries `name`. Dead nodes are removed
+    /// from both memos (re-adding an equivalent view later creates fresh
+    /// nodes) and tombstoned in place — surviving ids keep their meaning,
+    /// which is what lets a re-entrant optimizer session keep its memo
+    /// slots across view-set changes.
+    pub fn remove_view(&mut self, name: &str) -> Option<EqId> {
+        let pos = self.roots.iter().position(|r| r.name == name)?;
+        let root = self.roots.remove(pos).eq;
+        self.collect_garbage();
+        Some(root)
+    }
+
+    /// Mark-and-sweep from the current root set.
+    fn collect_garbage(&mut self) {
+        let mut eq_live = vec![false; self.eqs.len()];
+        let mut op_live = vec![false; self.ops.len()];
+        let mut stack: Vec<EqId> = self.roots.iter().map(|r| r.eq).collect();
+        while let Some(e) = stack.pop() {
+            if eq_live[e.0 as usize] {
+                continue;
+            }
+            eq_live[e.0 as usize] = true;
+            for &op in &self.eqs[e.0 as usize].children {
+                if !op_live[op.0 as usize] {
+                    op_live[op.0 as usize] = true;
+                    stack.extend(self.ops[op.0 as usize].children.iter().copied());
+                }
+            }
+        }
+        self.dead_eqs = eq_live.iter().map(|l| !l).collect();
+        self.dead_ops = op_live.iter().map(|l| !l).collect();
+        self.dead_eq_count = self.dead_eqs.iter().filter(|d| **d).count();
+        self.dead_op_count = self.dead_ops.iter().filter(|d| **d).count();
+        // Sweep the memos so future insertions of equivalent expressions
+        // do not resolve to tombstones.
+        self.eq_memo.retain(|_, id| eq_live[id.0 as usize]);
+        self.op_memo.retain(|_, id| op_live[id.0 as usize]);
+        // Live nodes may still list dead consumers; prune so upward walks
+        // (incremental cost propagation) never enter dead territory. A live
+        // eq's own alternative ops are live by construction.
+        for (i, eq) in self.eqs.iter_mut().enumerate() {
+            if eq_live[i] {
+                eq.parents.retain(|op| op_live[op.0 as usize]);
+            }
+        }
+        // Base-table set of the surviving DAG.
+        let mut base: Vec<TableId> = Vec::new();
+        for (i, eq) in self.eqs.iter().enumerate() {
+            if eq_live[i] {
+                for t in &eq.base_tables {
+                    if let Err(pos) = base.binary_search(t) {
+                        base.insert(pos, *t);
+                    }
+                }
+            }
+        }
+        self.base_tables = base;
     }
 
     /// Insert an expression without registering a root.
@@ -408,6 +512,18 @@ impl Dag {
     /// Add an operation under `parent` unless the identical operation
     /// already exists (hashing-based duplicate detection).
     pub(crate) fn add_op(&mut self, kind: OpKind, children: Vec<EqId>, parent: EqId) -> OpId {
+        self.add_op_tracked(kind, children, parent).0
+    }
+
+    /// [`Dag::add_op`] that also reports whether the op was newly created —
+    /// incremental subsumption re-derives over the whole live DAG and must
+    /// count only what this pass actually added.
+    pub(crate) fn add_op_tracked(
+        &mut self,
+        kind: OpKind,
+        children: Vec<EqId>,
+        parent: EqId,
+    ) -> (OpId, bool) {
         let memo_key = (kind.clone(), children.clone());
         if let Some(existing) = self.op_memo.get(&memo_key) {
             debug_assert_eq!(
@@ -415,7 +531,7 @@ impl Dag {
                 parent,
                 "identical op under two different equivalence nodes — unification bug"
             );
-            return *existing;
+            return (*existing, false);
         }
         let id = OpId(self.ops.len() as u32);
         self.ops.push(OpNode {
@@ -429,25 +545,26 @@ impl Dag {
         for c in children {
             self.eqs[c.0 as usize].parents.push(id);
         }
-        id
+        (id, true)
     }
 
-    /// Equivalence nodes in a bottom-up (children before parents) order,
-    /// via Kahn's algorithm. Each entry in an eq node's `parents` list
-    /// corresponds to exactly one child slot of the consuming op, so the
-    /// parent eq node becomes ready precisely when every child slot of every
-    /// one of its alternative ops has been emitted.
+    /// Live equivalence nodes in a bottom-up (children before parents)
+    /// order, via Kahn's algorithm. Each entry in an eq node's `parents`
+    /// list corresponds to exactly one child slot of the consuming op, so
+    /// the parent eq node becomes ready precisely when every child slot of
+    /// every one of its alternative ops has been emitted.
     pub fn topo_order(&self) -> Vec<EqId> {
         let n = self.eqs.len();
         let mut indegree = vec![0usize; n];
-        for op in &self.ops {
+        for op_id in self.op_ids() {
+            let op = self.op(op_id);
             indegree[op.parent.0 as usize] += op.children.len();
         }
-        let mut ready: Vec<EqId> = (0..n as u32)
-            .map(EqId)
+        let mut ready: Vec<EqId> = self
+            .eq_ids()
             .filter(|e| indegree[e.0 as usize] == 0)
             .collect();
-        let mut out = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(self.eq_count());
         while let Some(e) = ready.pop() {
             out.push(e);
             for &op_id in &self.eq(e).parents {
@@ -458,7 +575,7 @@ impl Dag {
                 }
             }
         }
-        debug_assert_eq!(out.len(), n, "DAG contains a cycle");
+        debug_assert_eq!(out.len(), self.eq_count(), "DAG contains a cycle");
         out
     }
 }
@@ -720,6 +837,68 @@ mod tests {
         };
         let mut dag = Dag::new();
         dag.insert_view(&c, "v", &expr);
+    }
+
+    #[test]
+    fn remove_view_garbage_collects_unshared_nodes() {
+        let (c, a, b, d) = abc_catalog();
+        let mut dag = Dag::new();
+        let a_id = c.table(a).attr("id");
+        let b_aid = c.table(b).attr("a_id");
+        let ab = LogicalExpr::join(
+            LogicalExpr::scan(a),
+            LogicalExpr::scan(b),
+            Predicate::from_expr(ScalarExpr::col_eq_col(a_id, b_aid)),
+        );
+        dag.insert_view(&c, "v_ab", &ab);
+        let (eqs_before, ops_before) = (dag.eq_count(), dag.op_count());
+        dag.insert_view(&c, "v_abc", &three_way_join(&c, a, b, d));
+        assert!(dag.eq_count() > eqs_before);
+        let root = dag.remove_view("v_abc").expect("root exists");
+        assert!(!dag.eq_is_live(root));
+        // Counts restored; v_ab's nodes survive and stay in the memo.
+        assert_eq!(dag.eq_count(), eqs_before);
+        assert_eq!(dag.op_count(), ops_before);
+        assert_eq!(dag.roots().len(), 1);
+        assert_eq!(dag.base_tables(), &[a, b]);
+        // Tombstones stay in the arena but out of iteration.
+        assert!(dag.eq_arena_size() > dag.eq_count());
+        assert_eq!(dag.eq_ids().count(), dag.eq_count());
+        assert_eq!(dag.topo_order().len(), dag.eq_count());
+        // Live survivors no longer list dead consumers.
+        for e in dag.eq_ids() {
+            for op in &dag.eq(e).parents {
+                assert!(dag.op_is_live(*op));
+            }
+        }
+        // The C-subset key was swept: re-adding creates fresh live nodes.
+        let again = dag.insert_view(&c, "v_abc2", &three_way_join(&c, a, b, d));
+        assert!(dag.eq_is_live(again));
+        assert_ne!(again, root);
+    }
+
+    #[test]
+    fn remove_view_keeps_nodes_shared_with_surviving_roots() {
+        let (c, a, b, d) = abc_catalog();
+        let mut dag = Dag::new();
+        let full = three_way_join(&c, a, b, d);
+        let e1 = dag.insert_view(&c, "v1", &full);
+        let e2 = dag.insert_view(&c, "v2", &full);
+        assert_eq!(e1, e2);
+        dag.remove_view("v1").unwrap();
+        // Shared root survives entirely.
+        assert!(dag.eq_is_live(e2));
+        assert_eq!(dag.eq_count(), 7);
+        assert_eq!(dag.roots().len(), 1);
+    }
+
+    #[test]
+    fn remove_unknown_view_is_none() {
+        let (c, a, b, d) = abc_catalog();
+        let mut dag = Dag::new();
+        dag.insert_view(&c, "v", &three_way_join(&c, a, b, d));
+        assert!(dag.remove_view("ghost").is_none());
+        assert_eq!(dag.roots().len(), 1);
     }
 
     #[test]

@@ -8,4 +8,7 @@ pub mod subsume;
 
 pub use build::{spj_schema, spj_stats, Dag, DagRoot};
 pub use node::{DerivedSig, EqId, EqNode, OpId, OpKind, OpNode, SemKey};
-pub use subsume::{add_subsumption_derivations, SubsumptionReport};
+pub use subsume::{
+    add_subsumption_derivations, add_subsumption_derivations_incremental, SubsumeState,
+    SubsumptionReport,
+};

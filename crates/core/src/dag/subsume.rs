@@ -21,7 +21,7 @@ use mvmqo_relalg::catalog::Catalog;
 use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
 use mvmqo_relalg::schema::AttrId;
 use mvmqo_relalg::types::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Statistics of what subsumption added (surfaced in optimizer reports).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,15 +32,76 @@ pub struct SubsumptionReport {
     pub introduced_group_nodes: usize,
 }
 
-/// Add every applicable subsumption derivation to the DAG.
+impl SubsumptionReport {
+    /// Fold another pass's additions into a cumulative report (the
+    /// re-entrant session accumulates one report across view insertions).
+    pub fn absorb(&mut self, other: SubsumptionReport) {
+        self.select_derivations += other.select_derivations;
+        self.range_derivations += other.range_derivations;
+        self.aggregate_rollups += other.aggregate_rollups;
+        self.introduced_group_nodes += other.introduced_group_nodes;
+    }
+}
+
+/// Persistent subsumption bookkeeping for an incrementally grown DAG.
+///
+/// Select/range derivations are naturally idempotent (re-deriving an
+/// existing op hits the op memo), but aggregate roll-ups mint fresh output
+/// attributes for the introduced union-grouping node — re-considering a
+/// pair would create a *different* node each pass. The state remembers
+/// which aggregate pairs have been examined.
+#[derive(Debug, Clone, Default)]
+pub struct SubsumeState {
+    rollup_pairs: HashSet<(EqId, EqId)>,
+    /// Union-grouping nodes this machinery introduced. They never pair
+    /// with later aggregates (matching the one-shot pass, which collects
+    /// candidates before creating any union node) — without this, every
+    /// incremental pass would stack roll-ups of roll-ups.
+    introduced: HashSet<EqId>,
+}
+
+impl SubsumeState {
+    /// Drop bookkeeping for pairs involving garbage-collected nodes, so a
+    /// re-added aggregate view gets its roll-ups re-derived.
+    pub fn prune_dead(&mut self, dag: &Dag) {
+        self.rollup_pairs
+            .retain(|(a, b)| dag.eq_is_live(*a) && dag.eq_is_live(*b));
+        self.introduced.retain(|e| dag.eq_is_live(*e));
+    }
+
+    fn pair_key(a: EqId, b: EqId) -> (EqId, EqId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+/// Add every applicable subsumption derivation to the DAG (one-shot form).
 pub fn add_subsumption_derivations(dag: &mut Dag, catalog: &mut Catalog) -> SubsumptionReport {
+    let mut state = SubsumeState::default();
+    add_subsumption_derivations_incremental(dag, catalog, &mut state, EqId(0))
+}
+
+/// Derive the subsumptions a grown DAG is missing. Safe to call after
+/// every view insertion: only pairs involving a node with id ≥ `first_new`
+/// are considered (older pairs were examined by an earlier pass), existing
+/// derivations hit the op memo, and `state` prevents aggregate pairs from
+/// being rolled up twice. Returns only this pass's additions.
+pub fn add_subsumption_derivations_incremental(
+    dag: &mut Dag,
+    catalog: &mut Catalog,
+    state: &mut SubsumeState,
+    first_new: EqId,
+) -> SubsumptionReport {
     let mut report = SubsumptionReport::default();
-    add_select_derivations(dag, &mut report);
-    add_aggregate_rollups(dag, catalog, &mut report);
+    add_select_derivations(dag, first_new, &mut report);
+    add_aggregate_rollups(dag, catalog, state, first_new, &mut report);
     report
 }
 
-fn add_select_derivations(dag: &mut Dag, report: &mut SubsumptionReport) {
+fn add_select_derivations(dag: &mut Dag, first_new: EqId, report: &mut SubsumptionReport) {
     // Group SPJ nodes by table set.
     let mut groups: HashMap<Vec<mvmqo_relalg::catalog::TableId>, Vec<(EqId, Predicate)>> =
         HashMap::new();
@@ -52,35 +113,51 @@ fn add_select_derivations(dag: &mut Dag, report: &mut SubsumptionReport) {
                 .push((id, preds.clone()));
         }
     }
-    let mut to_add: Vec<(EqId, EqId, Predicate)> = Vec::new(); // (target, source, reapply)
+    // (target, source, reapply predicate, is_range)
+    let mut to_add: Vec<(EqId, EqId, Predicate, bool)> = Vec::new();
     for members in groups.values() {
         if members.len() < 2 {
             continue;
         }
+        if members.iter().all(|(id, _)| *id < first_new) {
+            continue; // every pair here was examined by an earlier pass
+        }
         for (target, tp) in members {
             for (source, sp) in members {
-                if target == source {
+                if target == source || (*target < first_new && *source < first_new) {
                     continue;
                 }
                 // (a) Set inclusion: source's conjuncts ⊂ target's.
                 if is_strict_subset(sp, tp) {
                     let missing = difference(tp, sp);
-                    to_add.push((*target, *source, missing));
-                    report.select_derivations += 1;
+                    to_add.push((*target, *source, missing, false));
                     continue;
                 }
                 // (b) Range implication on a single differing conjunct.
                 if let Some((c_target, c_source)) = single_conjunct_difference(tp, sp) {
                     if implies(&c_target, &c_source) && !implies(&c_source, &c_target) {
-                        to_add.push((*target, *source, Predicate::from_conjuncts(vec![c_target])));
-                        report.range_derivations += 1;
+                        to_add.push((
+                            *target,
+                            *source,
+                            Predicate::from_conjuncts(vec![c_target]),
+                            true,
+                        ));
                     }
                 }
             }
         }
     }
-    for (target, source, pred) in to_add {
-        dag.add_op(OpKind::Select { pred }, vec![source], target);
+    for (target, source, pred, is_range) in to_add {
+        // Derivations found on earlier incremental passes hit the op memo;
+        // count only what this pass adds.
+        let (_, new) = dag.add_op_tracked(OpKind::Select { pred }, vec![source], target);
+        if new {
+            if is_range {
+                report.range_derivations += 1;
+            } else {
+                report.select_derivations += 1;
+            }
+        }
     }
 }
 
@@ -162,10 +239,20 @@ pub fn implies(p: &ScalarExpr, q: &ScalarExpr) -> bool {
 /// (aggregate node, group-by attrs, agg specs) collected per shared input.
 type AggNodesByChild = HashMap<EqId, Vec<(EqId, Vec<AttrId>, Vec<AggSpec>)>>;
 
-fn add_aggregate_rollups(dag: &mut Dag, catalog: &mut Catalog, report: &mut SubsumptionReport) {
-    // Collect aggregate nodes grouped by input child.
+fn add_aggregate_rollups(
+    dag: &mut Dag,
+    catalog: &mut Catalog,
+    state: &mut SubsumeState,
+    first_new: EqId,
+    report: &mut SubsumptionReport,
+) {
+    // Collect aggregate nodes grouped by input child (introduced
+    // union-grouping nodes excluded — see `SubsumeState::introduced`).
     let mut by_child: AggNodesByChild = HashMap::new();
     for id in dag.eq_ids() {
+        if state.introduced.contains(&id) {
+            continue;
+        }
         if let SemKey::Derived {
             sig: DerivedSig::Aggregate { group_by, aggs },
             children,
@@ -186,6 +273,12 @@ fn add_aggregate_rollups(dag: &mut Dag, catalog: &mut Catalog, report: &mut Subs
             for j in (i + 1)..nodes.len() {
                 let (e1, g1, a1) = &nodes[i];
                 let (e2, g2, a2) = &nodes[j];
+                if *e1 < first_new && *e2 < first_new {
+                    continue; // both pre-date this pass
+                }
+                if !state.rollup_pairs.insert(SubsumeState::pair_key(*e1, *e2)) {
+                    continue; // pair already examined on an earlier pass
+                }
                 if g1 == g2 {
                     continue; // same grouping with different specs — no roll-up needed
                 }
@@ -244,6 +337,7 @@ fn add_aggregate_rollups(dag: &mut Dag, catalog: &mut Catalog, report: &mut Subs
                     schema,
                     stats,
                 );
+                state.introduced.insert(union_node);
                 report.introduced_group_nodes += 1;
                 for (e, g, specs) in [(e1, g1, a1), (e2, g2, a2)] {
                     let derived: Vec<AggSpec> = specs

@@ -18,36 +18,94 @@ use crate::dag::{Dag, DerivedSig, EqId, SemKey};
 use crate::update::{UpdateId, UpdateModel};
 use mvmqo_relalg::catalog::{Catalog, TableId};
 use mvmqo_relalg::stats::{self, ColStats, RelStats};
+use std::sync::Arc;
 
 /// Differential and state-sequence statistics for every equivalence node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DiffProps {
     n_updates: usize,
     /// `state[e][k]` = stats of eq node `e` after updates with id `< k`
     /// have been applied; `k` ranges over `0 ..= n_updates`. Index
     /// `n_updates` is the post-all-updates ("new") state used by
     /// recomputation costing.
-    state: Vec<Vec<RelStats>>,
+    state: Vec<Vec<Arc<RelStats>>>,
     /// `delta[e][u]` = stats of δ(e, u); `rows == 0` when the node does not
     /// depend on the updated relation (the null-plan case of §5.2).
-    delta: Vec<Vec<RelStats>>,
+    delta: Vec<Vec<Arc<RelStats>>>,
 }
 
 impl DiffProps {
     /// Compute all differential properties for `dag` under `updates`.
     pub fn compute(dag: &Dag, catalog: &Catalog, updates: &UpdateModel) -> DiffProps {
         let n = updates.len();
-        let eq_count = dag.eq_count();
         let mut props = DiffProps {
             n_updates: n,
-            state: vec![Vec::new(); eq_count],
-            delta: vec![Vec::new(); eq_count],
+            state: vec![Vec::new(); dag.eq_arena_size()],
+            delta: vec![Vec::new(); dag.eq_arena_size()],
         };
         let order = dag.topo_order();
         for e in order {
             props.compute_node(dag, catalog, updates, e);
         }
         props
+    }
+
+    /// Grow the id-indexed side tables to the DAG's current arena extent
+    /// (new slots are empty and must be refreshed before use).
+    pub fn ensure_capacity(&mut self, dag: &Dag) {
+        self.state.resize(dag.eq_arena_size(), Vec::new());
+        self.delta.resize(dag.eq_arena_size(), Vec::new());
+    }
+
+    /// Dirty-bit statistics refresh: recompute properties only where they
+    /// can have moved — nodes depending on a table in `changed_tables`,
+    /// nodes in `force` (newly inserted or never computed), and derived
+    /// nodes whose inputs moved — propagating change flags bottom-up.
+    /// Returns the eq nodes whose properties actually changed. If the
+    /// update *numbering* changed (`updates.len()` differs from the last
+    /// pass), every live node is recomputed — the per-node arrays are keyed
+    /// by the 2n numbering and cannot be patched.
+    pub fn refresh(
+        &mut self,
+        dag: &Dag,
+        catalog: &Catalog,
+        updates: &UpdateModel,
+        changed_tables: &[TableId],
+        force: &std::collections::HashSet<EqId>,
+    ) -> Vec<EqId> {
+        self.ensure_capacity(dag);
+        let structural = updates.len() != self.n_updates;
+        self.n_updates = updates.len();
+        let mut changed: Vec<EqId> = Vec::new();
+        let mut changed_set: std::collections::HashSet<EqId> = Default::default();
+        for e in dag.topo_order() {
+            let node = dag.eq(e);
+            let idx = e.0 as usize;
+            let fresh = self.state[idx].is_empty();
+            let needs = structural
+                || fresh
+                || force.contains(&e)
+                || changed_tables.iter().any(|t| node.depends_on(*t))
+                || matches!(
+                    &node.key,
+                    SemKey::Derived { children, .. }
+                        if children.iter().any(|c| changed_set.contains(c))
+                );
+            if !needs {
+                continue;
+            }
+            let old_state = std::mem::take(&mut self.state[idx]);
+            let old_delta = std::mem::take(&mut self.delta[idx]);
+            self.compute_node(dag, catalog, updates, e);
+            let same = !fresh
+                && stats_seq_eq(&old_state, &self.state[idx])
+                && stats_seq_eq(&old_delta, &self.delta[idx]);
+            if !same {
+                changed.push(e);
+                changed_set.insert(e);
+            }
+        }
+        changed
     }
 
     /// Stats of the full result of `e` after updates `< k` applied.
@@ -91,26 +149,41 @@ impl DiffProps {
     fn compute_node(&mut self, dag: &Dag, catalog: &Catalog, updates: &UpdateModel, e: EqId) {
         let node = dag.eq(e);
         let n = self.n_updates;
-        let mut states = Vec::with_capacity(n + 1);
-        let mut deltas = Vec::with_capacity(n);
+        let mut states: Vec<Arc<RelStats>> = Vec::with_capacity(n + 1);
+        let mut deltas: Vec<Arc<RelStats>> = Vec::with_capacity(n);
         match &node.key {
             SemKey::Spj { tables, preds } => {
                 for k in 0..=n {
-                    states.push(crate::dag::spj_stats(catalog, tables, preds, &|t| {
-                        base_stats_at(catalog, updates, t, UpdateId(k as u16))
-                    }));
+                    // state[k] differs from state[k−1] only if update k−1
+                    // touches one of this node's tables — for a node over a
+                    // few tables most of the 2n+1 states are verbatim
+                    // repeats, so reuse instead of re-deriving.
+                    if k > 0 {
+                        let step = updates.step(UpdateId((k - 1) as u16));
+                        if step.rows <= 0.0 || !tables.contains(&step.table) {
+                            let prev = states[k - 1].clone();
+                            states.push(prev);
+                            continue;
+                        }
+                    }
+                    states.push(Arc::new(crate::dag::spj_stats(
+                        catalog,
+                        tables,
+                        preds,
+                        &|t| base_stats_at(catalog, updates, t, UpdateId(k as u16)),
+                    )));
                 }
                 for u in 0..n {
                     let step = updates.step(UpdateId(u as u16));
                     if !node.depends_on(step.table) || step.rows <= 0.0 {
-                        deltas.push(RelStats::empty());
+                        deltas.push(Arc::new(RelStats::empty()));
                         continue;
                     }
                     if fk_prunes_delta(catalog, updates, tables, preds, step) {
                         // §5.3: joins of a parent relation's insert delta
                         // with child relations that cannot yet reference the
                         // new keys are provably empty.
-                        deltas.push(RelStats::empty());
+                        deltas.push(Arc::new(RelStats::empty()));
                         continue;
                     }
                     let d = crate::dag::spj_stats(catalog, tables, preds, &|t| {
@@ -120,21 +193,26 @@ impl DiffProps {
                             base_stats_at(catalog, updates, t, UpdateId(u as u16))
                         }
                     });
-                    deltas.push(d);
+                    deltas.push(Arc::new(d));
                 }
             }
             SemKey::Derived { sig, children } => {
                 // Children are already computed (topological order).
                 for k in 0..=n {
-                    states.push(self.derive_state(dag, sig, children, k));
+                    states.push(Arc::new(self.derive_state(dag, sig, children, k)));
                 }
                 for u in 0..n {
                     let step = updates.step(UpdateId(u as u16));
                     if !node.depends_on(step.table) || step.rows <= 0.0 {
-                        deltas.push(RelStats::empty());
+                        deltas.push(Arc::new(RelStats::empty()));
                         continue;
                     }
-                    deltas.push(self.derive_delta(dag, sig, children, UpdateId(u as u16)));
+                    deltas.push(Arc::new(self.derive_delta(
+                        dag,
+                        sig,
+                        children,
+                        UpdateId(u as u16),
+                    )));
                 }
             }
         }
@@ -193,6 +271,15 @@ impl DiffProps {
             DerivedSig::Distinct => stats::derive_distinct(d0),
         }
     }
+}
+
+/// Element-wise approximate equality of two property sequences. Shared
+/// (`Arc`-identical) entries compare by pointer.
+fn stats_seq_eq(a: &[Arc<RelStats>], b: &[Arc<RelStats>]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| Arc::ptr_eq(x, y) || x.approx_eq(y, 1e-9))
 }
 
 /// Foreign-key emptiness pruning (§5.3): when update `step` inserts into a

@@ -16,6 +16,9 @@
 //!   and monotonicity optimizations (§6);
 //! * [`plan`] — the physical plan IR and the maintenance program handed to
 //!   an executor;
+//! * [`session`] — the re-entrant [`session::Optimizer`]: a persistent
+//!   DAG/memo/benefit-cache session whose replans after view churn or
+//!   statistics drift pay incremental cost instead of a full rebuild;
 //! * [`api`] — a one-call facade ([`api::optimize`]).
 
 pub mod api;
@@ -24,8 +27,10 @@ pub mod dag;
 pub mod diff;
 pub mod opt;
 pub mod plan;
+pub mod session;
 pub mod update;
 
 pub use api::{optimize, MaintenanceProblem, OptimizerReport};
 pub use dag::{Dag, EqId, OpId};
+pub use session::{Optimizer, PlanMode, PlanOutcome};
 pub use update::{UpdateId, UpdateModel, UpdateStep};

@@ -39,7 +39,6 @@ use crate::update::{UpdateId, UpdateModel};
 use mvmqo_relalg::catalog::{Catalog, TableId};
 use mvmqo_relalg::expr::Predicate;
 use mvmqo_relalg::schema::AttrId;
-use mvmqo_relalg::stats::RelStats;
 use mvmqo_storage::delta::DeltaKind;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -143,6 +142,16 @@ pub struct Trial {
     mat_undo: MatUndo,
 }
 
+impl Trial {
+    /// Eq nodes whose memo slots this trial changed — the only places the
+    /// configuration's total cost can have moved (benefit evaluation
+    /// differences the cost over this set instead of sweeping every
+    /// materialization).
+    pub fn changed_eqs(&self) -> impl Iterator<Item = EqId> + '_ {
+        self.changes.iter().map(|c| c.eq)
+    }
+}
+
 #[derive(Debug)]
 enum MatUndo {
     Full(EqId, bool),
@@ -156,6 +165,19 @@ enum MatUndo {
 pub struct EngineStats {
     pub full_slot_recomputes: u64,
     pub diff_slot_recomputes: u64,
+}
+
+/// The persistable part of a cost engine's memo: best-plan slots for every
+/// full result and differential, indexed by eq id. A re-entrant optimizer
+/// session extracts this after each plan ([`CostEngine::into_memo`]) and
+/// resumes from it on the next one ([`CostEngine::resume`]), so a replan
+/// pays only for the slots its changes actually dirtied instead of a full
+/// `recompute_all`. Tombstoned ids carry stale values that are never read.
+#[derive(Debug, Clone, Default)]
+pub struct SavedMemo {
+    full: Vec<SlotState>,
+    diff: Vec<Vec<SlotState>>,
+    n_updates: usize,
 }
 
 /// The cost engine over one DAG.
@@ -192,44 +214,145 @@ impl<'a> CostEngine<'a> {
         initial_mats: MatSet,
     ) -> Self {
         let props = DiffProps::compute(dag, catalog, updates);
+        let mut engine = Self::assemble(dag, catalog, updates, model, initial_mats, props, None);
+        engine.recompute_all();
+        engine
+    }
+
+    /// Rebuild an engine from a previous session's memo, recomputing only
+    /// the slots of `dirty` nodes and whatever their changes invalidate
+    /// upward. Falls back to a full `recompute_all` when the update
+    /// numbering changed (the per-node diff arrays are keyed by it).
+    /// Returns the engine plus every eq node whose slot values differ from
+    /// the saved memo — the set the warm-started greedy must re-cost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume(
+        dag: &'a Dag,
+        catalog: &'a Catalog,
+        updates: &'a UpdateModel,
+        model: CostModel,
+        mats: MatSet,
+        props: DiffProps,
+        saved: SavedMemo,
+        dirty: &HashSet<EqId>,
+    ) -> (Self, Vec<EqId>) {
+        let structural = saved.n_updates != updates.len();
+        // A dirty set covering most of the DAG (statistics drift touches
+        // every dependent node) is recomputed faster by the linear
+        // bottom-up sweep than by per-slot queue bookkeeping.
+        let blanket = dirty.len() * 3 >= dag.eq_count() * 2;
+        let saved = if structural { None } else { Some(saved) };
+        let mut engine = Self::assemble(dag, catalog, updates, model, mats, props, saved);
+        if structural || blanket {
+            engine.recompute_all();
+            let all: Vec<EqId> = engine.dag.eq_ids().collect();
+            return (engine, all);
+        }
+        let mut set = DirtySet::new(updates.len());
+        for &e in dirty {
+            if !dag.eq_is_live(e) {
+                continue;
+            }
+            set.mark_full(e);
+            set.mark_all_diffs(e);
+        }
+        let changes = engine.propagate(set);
+        let mut changed: Vec<EqId> = changes.iter().map(|c| c.eq).collect();
+        changed.sort_unstable();
+        changed.dedup();
+        (engine, changed)
+    }
+
+    fn assemble(
+        dag: &'a Dag,
+        catalog: &'a Catalog,
+        updates: &'a UpdateModel,
+        model: CostModel,
+        mats: MatSet,
+        props: DiffProps,
+        saved: Option<SavedMemo>,
+    ) -> Self {
         let topo = dag.topo_order();
-        let mut rank = vec![0usize; dag.eq_count()];
+        let mut rank = vec![0usize; dag.eq_arena_size()];
         for (i, e) in topo.iter().enumerate() {
             rank[e.0 as usize] = i;
         }
         let n = updates.len();
-        let mut engine = CostEngine {
+        let blank = SlotState {
+            cost: f64::INFINITY,
+            best: None,
+        };
+        let (mut full, mut diff) = match saved {
+            Some(s) => (s.full, s.diff),
+            None => (Vec::new(), Vec::new()),
+        };
+        full.resize(dag.eq_arena_size(), blank.clone());
+        diff.resize(dag.eq_arena_size(), vec![blank.clone(); n]);
+        for d in &mut diff {
+            d.resize(n, blank.clone());
+        }
+        CostEngine {
             dag,
             catalog,
             updates,
             props,
             model,
-            mats: initial_mats,
+            mats,
             incremental: true,
             query_workload: Vec::new(),
-            full: vec![
-                SlotState {
-                    cost: f64::INFINITY,
-                    best: None
-                };
-                dag.eq_count()
-            ],
-            diff: vec![
-                vec![
-                    SlotState {
-                        cost: f64::INFINITY,
-                        best: None
-                    };
-                    n
-                ];
-                dag.eq_count()
-            ],
+            full,
+            diff,
             topo,
             rank,
             stats: EngineStats::default(),
-        };
-        engine.recompute_all();
-        engine
+        }
+    }
+
+    /// Tear the engine down into the state a re-entrant session persists:
+    /// the materialized set, the differential properties, and the memo.
+    pub fn into_memo(self) -> (MatSet, DiffProps, SavedMemo) {
+        let n = self.updates.len();
+        (
+            self.mats,
+            self.props,
+            SavedMemo {
+                full: self.full,
+                diff: self.diff,
+                n_updates: n,
+            },
+        )
+    }
+
+    /// Debug cross-check for the incremental cost update: recompute the
+    /// whole memo from scratch and panic if any live slot diverges from
+    /// what incremental propagation maintained. Enabled per greedy pick by
+    /// `GreedyOptions::audit_incremental`.
+    pub fn assert_consistent_with_recompute(&mut self) {
+        let before_full: Vec<(EqId, f64)> =
+            self.dag.eq_ids().map(|e| (e, self.compcost(e))).collect();
+        let before_diff: Vec<(EqId, UpdateId, f64)> = self
+            .dag
+            .eq_ids()
+            .flat_map(|e| (0..self.updates.len()).map(move |u| (e, UpdateId(u as u16))))
+            .map(|(e, u)| (e, u, self.diffcost(e, u)))
+            .collect();
+        self.recompute_all();
+        for (e, cost) in before_full {
+            let truth = self.compcost(e);
+            assert!(
+                (cost - truth).abs() <= 1e-6 * truth.abs().max(1.0),
+                "incremental cost update diverged on full slot {e}: \
+                 incremental {cost}, recomputed {truth}"
+            );
+        }
+        for (e, u, cost) in before_diff {
+            let truth = self.diffcost(e, u);
+            assert!(
+                (cost - truth).abs() <= 1e-6 * truth.abs().max(1.0),
+                "incremental cost update diverged on diff slot ({e},{u}): \
+                 incremental {cost}, recomputed {truth}"
+            );
+        }
     }
 
     /// Recompute the entire memo bottom-up (initial pass; also the
@@ -414,6 +537,43 @@ impl<'a> CostEngine<'a> {
         }
         for &(root, weight) in &self.query_workload {
             total += weight * self.c_full(root);
+        }
+        total
+    }
+
+    /// Total-cost contribution of the members whose cost can depend on the
+    /// listed nodes: materialized full results and differentials anchored
+    /// in `affected`, weighted query roots in `affected`, and (when
+    /// currently present) the one index named by `index`. Every other
+    /// member's contribution is identical on both sides of a trial whose
+    /// slot changes lie inside `affected`, so
+    /// `partial_cost(before) − partial_cost(after)` equals the full
+    /// `total_cost` difference at a fraction of the sweep.
+    pub fn partial_cost(
+        &self,
+        affected: &HashSet<EqId>,
+        index: Option<(StoredRef, AttrId)>,
+    ) -> f64 {
+        let mut total = 0.0;
+        for &e in affected {
+            if self.mats.full.contains(&e) {
+                total += self.cost_full_result(e).0;
+            }
+        }
+        for &(e, u) in &self.mats.diffs {
+            if affected.contains(&e) {
+                total += self.cost_diff_result(e, u);
+            }
+        }
+        if let Some((target, attr)) = index {
+            if self.mats.has_index(target, attr) {
+                total += self.cost_index(target).0;
+            }
+        }
+        for &(root, weight) in &self.query_workload {
+            if affected.contains(&root) {
+                total += weight * self.c_full(root);
+            }
         }
         total
     }
@@ -651,13 +811,12 @@ impl<'a> CostEngine<'a> {
     fn full_op_alternatives(&self, op_id: OpId) -> Vec<(f64, Alg)> {
         let op = self.dag.op(op_id);
         let parent = op.parent;
-        let out = self.props.new_state(parent).clone();
+        let out_rows = self.props.new_state(parent).rows;
         let m = &self.model;
         let mut alts = Vec::with_capacity(4);
         match &op.kind {
             OpKind::Scan(t) => {
-                let rows = out.rows;
-                alts.push((m.scan(rows, self.table_width(*t)), Alg::Scan));
+                alts.push((m.scan(out_rows, self.table_width(*t)), Alg::Scan));
             }
             OpKind::Select { pred } => {
                 let child = op.children[0];
@@ -680,33 +839,29 @@ impl<'a> CostEngine<'a> {
             OpKind::Join { pred } => {
                 let l = op.children[0];
                 let r = op.children[1];
-                let lst = self.props.new_state(l).clone();
-                let rst = self.props.new_state(r).clone();
                 self.join_alternatives(
                     &mut alts,
                     JoinSide {
                         eq: l,
-                        rows: lst.rows,
+                        rows: self.props.new_state(l).rows,
                         width: self.width(l),
                         cost: self.c_full(l),
-                        stats: &lst,
                     },
                     JoinSide {
                         eq: r,
-                        rows: rst.rows,
+                        rows: self.props.new_state(r).rows,
                         width: self.width(r),
                         cost: self.c_full(r),
-                        stats: &rst,
                     },
                     pred,
-                    out.rows,
+                    out_rows,
                 );
             }
             OpKind::Aggregate { .. } => {
                 let child = op.children[0];
                 let in_rows = self.props.new_state(child).rows;
                 alts.push((
-                    self.c_full(child) + m.hash_aggregate(in_rows, out.rows, self.width(parent)),
+                    self.c_full(child) + m.hash_aggregate(in_rows, out_rows, self.width(parent)),
                     Alg::HashAgg,
                 ));
             }
@@ -737,7 +892,7 @@ impl<'a> CostEngine<'a> {
                 let child = op.children[0];
                 let in_rows = self.props.new_state(child).rows;
                 alts.push((
-                    self.c_full(child) + m.distinct(in_rows, out.rows, self.width(parent)),
+                    self.c_full(child) + m.distinct(in_rows, out_rows, self.width(parent)),
                     Alg::DistinctAlg,
                 ));
             }
@@ -749,8 +904,8 @@ impl<'a> CostEngine<'a> {
     fn join_alternatives(
         &self,
         alts: &mut Vec<(f64, Alg)>,
-        left: JoinSide<'_>,
-        right: JoinSide<'_>,
+        left: JoinSide,
+        right: JoinSide,
         pred: &Predicate,
         out_rows: f64,
     ) {
@@ -938,7 +1093,7 @@ impl<'a> CostEngine<'a> {
         let step = self.updates.step(u);
         let table = step.table;
         let m = &self.model;
-        let out_delta = self.props.delta(parent, u).clone();
+        let out_delta_rows = self.props.delta(parent, u).rows;
         let mut alts = Vec::with_capacity(4);
         match &op.kind {
             OpKind::Scan(_) => { /* handled in compute_diff_slot */ }
@@ -970,7 +1125,7 @@ impl<'a> CostEngine<'a> {
                             r,
                             true,
                             pred,
-                            out_delta.rows,
+                            out_delta_rows,
                         );
                     }
                     (false, true) => {
@@ -982,7 +1137,7 @@ impl<'a> CostEngine<'a> {
                             l,
                             false,
                             pred,
-                            out_delta.rows,
+                            out_delta_rows,
                         );
                     }
                     (true, true) => {
@@ -997,15 +1152,15 @@ impl<'a> CostEngine<'a> {
                             + self.c_diff(r, u)
                             + self.c_full(l)
                             + self.c_full(r)
-                            + m.hash_join(dl, self.width(l), r_rows, self.width(r), out_delta.rows)
+                            + m.hash_join(dl, self.width(l), r_rows, self.width(r), out_delta_rows)
                             + m.hash_join(
                                 dr,
                                 self.width(r),
                                 l_rows + dl,
                                 self.width(l),
-                                out_delta.rows,
+                                out_delta_rows,
                             )
-                            + m.union_all(out_delta.rows);
+                            + m.union_all(out_delta_rows);
                         alts.push((cost, Alg::HashJoin { build_left: true }));
                     }
                     (false, false) => {}
@@ -1029,7 +1184,7 @@ impl<'a> CostEngine<'a> {
                     // merge records (§3.1.2).
                     alts.push((
                         self.c_diff(child, u)
-                            + m.hash_aggregate(d_in, out_delta.rows, self.width(parent)),
+                            + m.hash_aggregate(d_in, out_delta_rows, self.width(parent)),
                         Alg::HashAgg,
                     ));
                 } else {
@@ -1040,13 +1195,13 @@ impl<'a> CostEngine<'a> {
                     alts.push((
                         self.c_diff(child, u)
                             + self.c_full(child)
-                            + m.hash_aggregate(full_in, out_delta.rows, self.width(parent)),
+                            + m.hash_aggregate(full_in, out_delta_rows, self.width(parent)),
                         Alg::HashAgg,
                     ));
                 }
             }
             OpKind::UnionAll => {
-                let mut cost = m.union_all(out_delta.rows);
+                let mut cost = m.union_all(out_delta_rows);
                 for &c in &op.children {
                     if self.dag.eq(c).depends_on(table) {
                         cost += self.c_diff(c, u);
@@ -1069,7 +1224,7 @@ impl<'a> CostEngine<'a> {
                 if self.mats.full.contains(&parent) {
                     alts.push((
                         self.c_diff(child, u)
-                            + m.distinct(d_in, out_delta.rows, self.width(parent)),
+                            + m.distinct(d_in, out_delta_rows, self.width(parent)),
                         Alg::DistinctAlg,
                     ));
                 } else {
@@ -1077,7 +1232,7 @@ impl<'a> CostEngine<'a> {
                     alts.push((
                         self.c_diff(child, u)
                             + self.c_full(child)
-                            + m.distinct(full_in, out_delta.rows, self.width(parent)),
+                            + m.distinct(full_in, out_delta_rows, self.width(parent)),
                         Alg::DistinctAlg,
                     ));
                 }
@@ -1102,7 +1257,7 @@ impl<'a> CostEngine<'a> {
     ) {
         let m = &self.model;
         let d_rows = self.props.delta(d_child, u).rows;
-        let f_state = self.props.state_at(f_child, u.0 as usize).clone();
+        let f_rows = self.props.state_at(f_child, u.0 as usize).rows;
         let d_cost = self.c_diff(d_child, u);
         let f_cost = self.c_full(f_child);
         // Hash join: build the (usually tiny) delta side.
@@ -1112,7 +1267,7 @@ impl<'a> CostEngine<'a> {
                 + m.hash_join(
                     d_rows,
                     self.width(d_child),
-                    f_state.rows,
+                    f_rows,
                     self.width(f_child),
                     out_rows,
                 ),
@@ -1127,7 +1282,7 @@ impl<'a> CostEngine<'a> {
             if let Some((target, probe_rows)) = self.probe_path(f_child, ikey, d_rows) {
                 alts.push((
                     d_cost
-                        + m.index_nl_join(d_rows, probe_rows, f_state.rows, self.width(f_child))
+                        + m.index_nl_join(d_rows, probe_rows, f_rows, self.width(f_child))
                         + m.filter(probe_rows)
                         + out_rows * m.cpu_tuple,
                     Alg::IndexNl {
@@ -1167,13 +1322,11 @@ impl<'a> CostEngine<'a> {
 }
 
 /// One side of a join being costed.
-struct JoinSide<'s> {
+struct JoinSide {
     eq: EqId,
     rows: f64,
     width: usize,
     cost: f64,
-    #[allow(dead_code)]
-    stats: &'s RelStats,
 }
 
 fn slot_eq(a: &SlotState, b: &SlotState) -> bool {

@@ -179,6 +179,20 @@ impl RuntimeState {
     pub fn is_fresh(&self, e: EqId) -> bool {
         self.fresh.contains(&e)
     }
+
+    /// Keep only the listed stored results (and their hidden
+    /// aggregate/distinct support state), dropping everything else.
+    ///
+    /// Used across re-optimizations: the re-entrant optimizer's DAG keeps
+    /// node ids stable, so a result that stayed fresh under the old plan
+    /// and is maintained by the new one carries over instead of being
+    /// rebuilt at the next epoch's setup.
+    pub fn retain_mats(&mut self, keep: &HashSet<EqId>) {
+        self.mats.retain(|e, _| keep.contains(e));
+        self.fresh.retain(|e| keep.contains(e));
+        self.agg_states.retain(|e, _| keep.contains(e));
+        self.distinct_states.retain(|e, _| keep.contains(e));
+    }
 }
 
 /// How a full plan's root folds into stored state when materialized:

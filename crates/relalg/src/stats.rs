@@ -85,6 +85,27 @@ impl RelStats {
         out.renormalize();
         out
     }
+
+    /// Approximate equality on row count and per-column distincts/ranges,
+    /// with `eps` relative tolerance. An incremental statistics refresh
+    /// uses this to decide whether a recomputed property actually moved
+    /// (and so whether dependents must be re-costed).
+    pub fn approx_eq(&self, other: &RelStats, eps: f64) -> bool {
+        let close = |a: f64, b: f64| (a - b).abs() <= eps * a.abs().max(b.abs()).max(1.0);
+        if !close(self.rows, other.rows) || self.cols.len() != other.cols.len() {
+            return false;
+        }
+        self.cols.iter().all(|(a, c)| {
+            other.cols.get(a).is_some_and(|o| {
+                close(c.distinct, o.distinct)
+                    && match (c.range, o.range) {
+                        (None, None) => true,
+                        (Some((l1, h1)), Some((l2, h2))) => close(l1, l2) && close(h1, h2),
+                        _ => false,
+                    }
+            })
+        })
+    }
 }
 
 /// Selectivity of a single conjunct against `stats`.

@@ -22,5 +22,5 @@ pub use updates::{
     epoch_updates, generate_table_update, generate_updates, DriverProfile, UpdateGenError,
 };
 pub use workloads::{
-    five_agg_views, five_join_views, single_agg_view, single_join_view, ten_views,
+    five_agg_views, five_join_views, many_views, single_agg_view, single_join_view, ten_views,
 };

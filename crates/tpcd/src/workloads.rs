@@ -402,6 +402,126 @@ pub fn ten_views(t: &Tpcd) -> Vec<ViewDef> {
     views
 }
 
+/// Scaling workload for the optimization-time benchmark: `n` distinct views
+/// drawn from parameterized families over the TPC-D schema (the §7.5
+/// axis — optimization time as the view set grows).
+///
+/// Each family shares a join core across its members (`lineitem ⋈ orders
+/// [⋈ …]`, `part ⋈ partsupp ⋈ supplier`, …) while varying a selection
+/// constant per member, so a growing set exercises exactly what the
+/// re-entrant optimizer must be fast at: heavy node sharing, long
+/// subsumption chains of range predicates, and a candidate space that
+/// grows with every added view. Views are deterministic in `n`: the first
+/// `k` views of `many_views(t, n)` equal `many_views(t, k)`, which lets
+/// the benchmark add "one more view" to a prefix.
+pub fn many_views(t: &Tpcd, n: usize) -> Vec<ViewDef> {
+    let li = t.t.lineitem;
+    let or = t.t.orders;
+    let cu = t.t.customer;
+    let su = t.t.supplier;
+    let pa = t.t.part;
+    let ps = t.t.partsupp;
+    let na = t.t.nation;
+
+    let mut views = Vec::with_capacity(n);
+    for i in 0..n {
+        let round = (i / 5) as i64;
+        let v = match i % 5 {
+            // Family 0: σ_{o_orderdate < c}(l ⋈ o ⋈ c) — range chain over
+            // the shared 3-way core (subsumption derivations between
+            // every pair of cutoffs).
+            0 => ViewDef::new(
+                format!("mv{i}_loc"),
+                select(l_o_c(t), vec![date_pred(t, 100 + 60 * round as i32)]),
+            ),
+            // Family 1: σ_{l_shipdate < c}(l ⋈ o ⋈ c ⋈ s) — four relations
+            // (the Figure-5 shape), sharing the l⋈o⋈c core with family 0.
+            1 => ViewDef::new(
+                format!("mv{i}_locs"),
+                select(
+                    join(
+                        l_o_c(t),
+                        LogicalExpr::scan(su),
+                        vec![eq(t.attr(li, "l_suppkey"), t.attr(su, "s_suppkey"))],
+                    ),
+                    vec![ScalarExpr::col_cmp_lit(
+                        t.attr(li, "l_shipdate"),
+                        CmpOp::Lt,
+                        mvmqo_relalg::types::Value::Date(120 + 60 * round as i32),
+                    )],
+                ),
+            ),
+            // Family 2: σ_{p_size < c}(p ⋈ ps ⋈ s).
+            2 => ViewDef::new(
+                format!("mv{i}_pps"),
+                select(
+                    join(
+                        join(
+                            LogicalExpr::scan(pa),
+                            LogicalExpr::scan(ps),
+                            vec![eq(t.attr(pa, "p_partkey"), t.attr(ps, "ps_partkey"))],
+                        ),
+                        LogicalExpr::scan(su),
+                        vec![eq(t.attr(ps, "ps_suppkey"), t.attr(su, "s_suppkey"))],
+                    ),
+                    vec![ScalarExpr::col_cmp_lit(
+                        t.attr(pa, "p_size"),
+                        CmpOp::Lt,
+                        5 + 3 * round,
+                    )],
+                ),
+            ),
+            // Family 3: σ_{c_mktsegment = k}(o ⋈ c ⋈ n ⋈ r) — four
+            // relations with point predicates (no subsumption chain,
+            // distinct nodes per member).
+            3 => ViewDef::new(
+                format!("mv{i}_ocnr"),
+                select(
+                    join(
+                        join(
+                            join(
+                                LogicalExpr::scan(or),
+                                LogicalExpr::scan(cu),
+                                vec![eq(t.attr(or, "o_custkey"), t.attr(cu, "c_custkey"))],
+                            ),
+                            LogicalExpr::scan(na),
+                            vec![eq(t.attr(cu, "c_nationkey"), t.attr(na, "n_nationkey"))],
+                        ),
+                        LogicalExpr::scan(t.t.region),
+                        vec![eq(
+                            t.attr(na, "n_regionkey"),
+                            t.attr(t.t.region, "r_regionkey"),
+                        )],
+                    ),
+                    vec![ScalarExpr::col_cmp_lit(
+                        t.attr(cu, "c_mktsegment"),
+                        CmpOp::Eq,
+                        round % 5,
+                    )],
+                ),
+            ),
+            // Family 4: σ_{o_orderpriority = k, o_orderdate < c}(l ⋈ o) —
+            // two-conjunct selections over the most-shared core.
+            _ => ViewDef::new(
+                format!("mv{i}_lo"),
+                select(
+                    l_o(t),
+                    vec![
+                        date_pred(t, 150 + 60 * round as i32),
+                        ScalarExpr::col_cmp_lit(
+                            t.attr(or, "o_orderpriority"),
+                            CmpOp::Eq,
+                            round % 5,
+                        ),
+                    ],
+                ),
+            ),
+        };
+        views.push(v);
+    }
+    views
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +576,35 @@ mod tests {
         // The narrow/wide date pair produces at least one subsumption
         // derivation.
         assert!(report.select_derivations + report.range_derivations >= 1);
+    }
+
+    #[test]
+    fn many_views_scales_and_prefixes_are_stable() {
+        let t = tpcd_catalog(0.01);
+        for n in [1, 10, 25] {
+            let views = many_views(&t, n);
+            assert_eq!(views.len(), n);
+            for v in &views {
+                v.expr.validate(&t.catalog).unwrap();
+            }
+            // Distinct names.
+            let mut names: Vec<&str> = views.iter().map(|v| v.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), n);
+        }
+        // Prefix property: many_views(n)[..k] ≡ many_views(k).
+        let big = many_views(&t, 25);
+        let small = many_views(&t, 10);
+        for (a, b) in big.iter().zip(&small) {
+            assert_eq!(a.name, b.name);
+        }
+        // Sharing: the DAG over 25 views is far smaller than 25 disjoint
+        // expansions.
+        let mut t2 = tpcd_catalog(0.01);
+        let (dag, report) = mvmqo_core::api::build_dag(&mut t2.catalog, &big);
+        assert!(dag.eq_count() < 25 * 15);
+        assert!(report.select_derivations + report.range_derivations >= 10);
     }
 
     #[test]

@@ -14,28 +14,44 @@
 
 use crate::error::WarehouseError;
 use crate::policy::{ReoptPolicy, ReoptTrigger};
-use mvmqo_core::api::{plan_maintenance, MaintenanceProblem, OptimizerReport, PlannedMaintenance};
+use mvmqo_core::api::OptimizerReport;
 use mvmqo_core::cost::CostModel;
 use mvmqo_core::opt::GreedyOptions;
+use mvmqo_core::session::{Optimizer, PlanMode};
 use mvmqo_core::update::UpdateModel;
+use mvmqo_core::EqId;
 use mvmqo_exec::{
     align_rows, eval_logical, execute_epoch_opts, index_plan_from_report, ExecOptions, IndexPlan,
     RuntimeState,
 };
 use mvmqo_relalg::catalog::{Catalog, TableId};
 use mvmqo_relalg::logical::ViewDef;
+use mvmqo_relalg::schema::AttrId;
 use mvmqo_relalg::tuple::{bag_eq_approx, Tuple};
 use mvmqo_storage::database::Database;
 use mvmqo_storage::delta::{DeltaBatch, DeltaSet};
 use mvmqo_storage::error::StorageError;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::time::{Duration, Instant};
 
-/// Everything tied to the currently selected plan. Dropped wholesale on
-/// re-optimization: the DAG (and so every node id in the program and the
-/// runtime state) is only meaningful for the view set and statistics it was
-/// built from.
+/// One re-optimization: when, why, how (cold vs incremental), how long.
+/// The replan log is how scripts and tests distinguish cheap incremental
+/// replans from cold rebuilds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplanRecord {
+    /// Engine epoch at which the replan ran.
+    pub epoch: u64,
+    pub trigger: ReoptTrigger,
+    pub mode: PlanMode,
+    pub elapsed: Duration,
+}
+
+/// Everything tied to the currently selected plan. The DAG itself lives in
+/// the re-entrant [`Optimizer`] session (node ids are stable across
+/// replans), so runtime state for results that stay maintained survives
+/// re-optimization; the rest is dropped here.
 struct PlanState {
-    planned: PlannedMaintenance,
+    report: OptimizerReport,
     index_plan: IndexPlan,
     /// Persistent materializations, indices, and hidden aggregate/distinct
     /// support state, carried from epoch to epoch.
@@ -89,6 +105,10 @@ pub struct Warehouse {
     options: GreedyOptions,
     policy: ReoptPolicy,
     exec_options: ExecOptions,
+    /// The re-entrant optimizer session: owns the persistent AND-OR DAG,
+    /// cost memo, and warm-start state. `ViewSetChanged`/`DeltaDrift`
+    /// replans pay incremental cost; only the first plan is cold.
+    optimizer: Optimizer,
     plan: Option<PlanState>,
     pending: DeltaSet,
     /// Tuples ingested since the last re-optimization (drift measure).
@@ -106,7 +126,7 @@ pub struct Warehouse {
     /// moves queued counts into stored counts without changing totals, so
     /// the cache persists across epochs (dead entries are pruned).
     avail_cache: HashMap<TableId, HashMap<Tuple, i64>>,
-    replans: Vec<(u64, ReoptTrigger)>,
+    replans: Vec<ReplanRecord>,
 }
 
 impl Warehouse {
@@ -121,6 +141,7 @@ impl Warehouse {
             options: GreedyOptions::default(),
             policy: ReoptPolicy::default(),
             exec_options: ExecOptions::default(),
+            optimizer: Optimizer::default(),
             plan: None,
             pending: DeltaSet::new(),
             ingested_since_plan: 0,
@@ -186,6 +207,10 @@ impl Warehouse {
         for t in view.expr.base_tables() {
             self.db.base(t)?;
         }
+        // Unify the view into the session's persistent DAG; the replan
+        // below then pays incremental cost (warm-started greedy) instead
+        // of rebuilding the DAG and memo from scratch.
+        self.optimizer.add_view(&mut self.catalog, &view);
         self.views.push(view);
         self.view_set_dirty = true;
         let trigger = if self.plan.is_none() && self.replans.is_empty() {
@@ -194,10 +219,12 @@ impl Warehouse {
             ReoptTrigger::ViewSetChanged
         };
         self.replan(trigger);
-        Ok(&self.plan.as_ref().expect("just planned").planned.report)
+        Ok(&self.plan.as_ref().expect("just planned").report)
     }
 
-    /// Drop a view by name; re-optimizes the remaining set.
+    /// Drop a view by name; re-optimizes the remaining set (incremental:
+    /// the session garbage-collects the detached subgraph and re-validates
+    /// the surviving selection).
     pub fn drop_view(&mut self, name: &str) -> Result<(), WarehouseError> {
         let pos = self
             .views
@@ -205,6 +232,7 @@ impl Warehouse {
             .position(|v| v.name == name)
             .ok_or_else(|| WarehouseError::UnknownView(name.to_string()))?;
         self.views.remove(pos);
+        self.optimizer.remove_view(name);
         self.view_set_dirty = true;
         if self.views.is_empty() {
             self.plan = None;
@@ -339,12 +367,12 @@ impl Warehouse {
 
         let plan = self.plan.as_mut().expect("views exist, so a plan exists");
         let exec = execute_epoch_opts(
-            &plan.planned.dag,
+            self.optimizer.dag(),
             &self.catalog,
             self.cost_model,
             &mut self.db,
             &self.pending,
-            &plan.planned.report.program,
+            &plan.report.program,
             &plan.index_plan,
             &mut plan.state,
             self.exec_options,
@@ -353,7 +381,7 @@ impl Warehouse {
         let report = EpochReport {
             epoch: self.epoch + 1,
             replanned,
-            estimated_cost: plan.planned.report.total_cost,
+            estimated_cost: plan.report.total_cost,
             executed_seconds: exec.maintenance_seconds,
             setup_seconds: exec.setup_seconds,
             setup_builds: exec.setup_builds,
@@ -434,7 +462,6 @@ impl Warehouse {
             return false;
         };
         let covered: Vec<TableId> = plan
-            .planned
             .report
             .program
             .steps
@@ -448,7 +475,15 @@ impl Warehouse {
     /// catalog statistics refreshed from the live database and an update
     /// model estimated from the pending batch (or the observed per-epoch
     /// rates when the queue is empty).
+    ///
+    /// Runs against the persistent optimizer session: only the first plan
+    /// is a cold build; view churn and statistics drift pay incremental
+    /// cost (dirty-bit property refresh + warm-started greedy). Runtime
+    /// state of results that remain maintained under the new plan is
+    /// carried over — node ids are stable — so a replan does not force
+    /// every materialization to be rebuilt at the next epoch.
     fn replan(&mut self, trigger: ReoptTrigger) {
+        let start = Instant::now();
         // Statistics drift: fold live row counts back into the catalog.
         let live: Vec<(TableId, f64)> = self
             .catalog
@@ -462,25 +497,48 @@ impl Warehouse {
             self.catalog.set_row_count(id, rows);
         }
 
-        let updates = self.update_model();
-        let problem = {
-            let mut p =
-                MaintenanceProblem::new(self.views.clone(), updates).with_pk_indices(&self.catalog);
-            p.cost_model = self.cost_model;
-            p.options = self.options;
-            p
-        };
-        let planned = plan_maintenance(&mut self.catalog, &problem);
-        let index_plan = index_plan_from_report(&problem.initial_indices, &planned.report);
+        let initial_indices = self.pk_indices();
+        self.optimizer.set_cost_model(self.cost_model);
+        self.optimizer.set_options(self.options);
+        self.optimizer.set_update_model(self.update_model());
+        self.optimizer.set_initial_indices(initial_indices.clone());
+        let outcome = self.optimizer.plan(&mut self.catalog);
+        let index_plan = index_plan_from_report(&initial_indices, &outcome.report);
+
+        // Materializations that stayed fresh under the old plan and are
+        // still maintained by the new one survive the replan.
+        let mut state = self.plan.take().map(|p| p.state).unwrap_or_default();
+        let keep: HashSet<EqId> = outcome
+            .report
+            .program
+            .permanent_mats
+            .iter()
+            .chain(outcome.report.program.views.iter().map(|(_, e)| e))
+            .copied()
+            .filter(|e| state.is_fresh(*e))
+            .collect();
+        state.retain_mats(&keep);
+
         self.plan = Some(PlanState {
-            planned,
+            report: outcome.report,
             index_plan,
-            state: RuntimeState::new(),
+            state,
             epochs_run: 0,
         });
         self.ingested_since_plan = 0;
         self.view_set_dirty = false;
-        self.replans.push((self.epoch, trigger));
+        self.replans.push(ReplanRecord {
+            epoch: self.epoch,
+            trigger,
+            mode: outcome.mode,
+            elapsed: start.elapsed(),
+        });
+    }
+
+    /// Primary-key indices over every table the current views reference —
+    /// the paper's §7.1 default physical design.
+    fn pk_indices(&self) -> Vec<(TableId, AttrId)> {
+        mvmqo_core::api::pk_indices_for(&self.catalog, &self.views)
     }
 
     /// Per-table (inserts, deletes) estimate for the next cycles: pending
@@ -519,14 +577,14 @@ impl Warehouse {
             .ok_or_else(|| WarehouseError::UnknownView(name.to_string()))?;
         let stale = !self.pending.is_empty();
         if let Some(plan) = self.plan.as_ref() {
-            if let Some(root) = mvmqo_exec::view_root(&plan.planned.report.program, name) {
+            if let Some(root) = mvmqo_exec::view_root(&plan.report.program, name) {
                 if let Some(rows) = plan.state.mat_rows(root) {
                     // Stored rows use the DAG node's canonical column order;
                     // serve them in the view's declared schema so both
                     // provenances agree.
                     let rows = align_rows(
                         rows.to_vec(),
-                        &plan.planned.dag.eq(root).schema,
+                        &self.optimizer.dag().eq(root).schema,
                         &view.expr.schema(&self.catalog),
                     );
                     return Ok(QueryResult {
@@ -561,7 +619,7 @@ impl Warehouse {
         let Some(plan) = self.plan.as_ref() else {
             return Ok(true);
         };
-        let Some(root) = mvmqo_exec::view_root(&plan.planned.report.program, name) else {
+        let Some(root) = mvmqo_exec::view_root(&plan.report.program, name) else {
             return Ok(true);
         };
         let Some(stored) = plan.state.mat_rows(root) else {
@@ -571,7 +629,7 @@ impl Warehouse {
         let expected = align_rows(
             expected,
             &view.expr.schema(&self.catalog),
-            &plan.planned.dag.eq(root).schema,
+            &self.optimizer.dag().eq(root).schema,
         );
         Ok(bag_eq_approx(stored, &expected, 1e-9))
     }
@@ -589,7 +647,7 @@ impl Warehouse {
         match self.plan.as_ref() {
             None => out.push_str("no plan (no views registered)\n"),
             Some(plan) => {
-                let r = &plan.planned.report;
+                let r = &plan.report;
                 out.push_str(&format!(
                     "estimated cycle cost {:.2}s (NoGreedy baseline {:.2}s), planned in {:?}\n",
                     r.total_cost, r.nogreedy_cost, r.optimization_time
@@ -623,9 +681,29 @@ impl Warehouse {
                 }
             }
         }
-        if let Some((epoch, trigger)) = self.replans.last() {
+        if let Some(rec) = self.replans.last() {
             out.push_str(&format!(
-                "last re-optimization at epoch {epoch}: {trigger}\n"
+                "last re-optimization at epoch {}: {} ({} plan, {:?})\n",
+                rec.epoch, rec.trigger, rec.mode, rec.elapsed
+            ));
+        }
+        // Cold-vs-incremental replan time: the measurable payoff of the
+        // re-entrant optimizer session.
+        let last_cold = self.replans.iter().rev().find(|r| r.mode == PlanMode::Cold);
+        let last_incr = self
+            .replans
+            .iter()
+            .rev()
+            .find(|r| r.mode == PlanMode::Incremental);
+        if let (Some(c), Some(i)) = (last_cold, last_incr) {
+            let speedup = if i.elapsed.as_secs_f64() > 0.0 {
+                c.elapsed.as_secs_f64() / i.elapsed.as_secs_f64()
+            } else {
+                f64::INFINITY
+            };
+            out.push_str(&format!(
+                "replan time: cold {:?}, incremental {:?} ({speedup:.1}x)\n",
+                c.elapsed, i.elapsed
             ));
         }
         out
@@ -680,14 +758,21 @@ impl Warehouse {
         &self.history
     }
 
-    /// `(epoch, trigger)` of every re-optimization so far.
-    pub fn replans(&self) -> &[(u64, ReoptTrigger)] {
+    /// Every re-optimization so far: epoch, trigger, cold-vs-incremental
+    /// mode, and elapsed planning time.
+    pub fn replans(&self) -> &[ReplanRecord] {
         &self.replans
     }
 
     /// The current optimizer report, if any view is registered.
     pub fn current_report(&self) -> Option<&OptimizerReport> {
-        self.plan.as_ref().map(|p| &p.planned.report)
+        self.plan.as_ref().map(|p| &p.report)
+    }
+
+    /// The persistent optimizer session's DAG (program node ids resolve
+    /// here).
+    pub fn dag(&self) -> &mvmqo_core::Dag {
+        self.optimizer.dag()
     }
 
     /// Sorted descriptions of the currently selected set `X` — the extra

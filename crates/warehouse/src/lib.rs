@@ -26,7 +26,8 @@ pub mod error;
 pub mod policy;
 pub mod script;
 
-pub use engine::{EpochReport, QueryResult, Warehouse};
+pub use engine::{EpochReport, QueryResult, ReplanRecord, Warehouse};
 pub use error::WarehouseError;
+pub use mvmqo_core::session::PlanMode;
 pub use policy::{ReoptPolicy, ReoptTrigger};
 pub use script::Session;

@@ -12,6 +12,8 @@ use std::fmt;
 /// Why the engine re-ran the MQO selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReoptTrigger {
+    // `Eq` is implemented manually below: the payload floats are derived
+    // from counts and never NaN, so `PartialEq` is total here.
     /// First plan for this view set.
     Initial,
     /// A view was registered or dropped since the last plan.
@@ -26,6 +28,8 @@ pub enum ReoptTrigger {
     /// the policy's ratio.
     CostDrift { ratio: f64 },
 }
+
+impl Eq for ReoptTrigger {}
 
 impl fmt::Display for ReoptTrigger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -493,6 +493,29 @@ mod tests {
     }
 
     #[test]
+    fn explain_reports_optimizer_session_behavior() {
+        // Scripts assert on optimizer behavior through `explain`: the
+        // chosen plan, the last trigger, and cold-vs-incremental replan
+        // times from the re-entrant session.
+        let mut s = session();
+        s.exec_line("view a = lineitem * orders").unwrap();
+        let out = s.exec_line("explain").unwrap();
+        assert!(out.contains("cold plan"), "{out}");
+        assert!(out.contains("initial plan"), "{out}");
+        s.exec_line("view b = lineitem * orders * customer")
+            .unwrap();
+        let out = s.exec_line("explain").unwrap();
+        assert!(out.contains("incremental plan"), "{out}");
+        assert!(out.contains("view set changed"), "{out}");
+        assert!(
+            out.contains("replan time: cold"),
+            "cold-vs-incremental summary missing: {out}"
+        );
+        assert!(out.contains("view a:"), "{out}");
+        assert!(out.contains("view b:"), "{out}");
+    }
+
+    #[test]
     fn quiet_epochs_do_not_thrash_the_plan() {
         // Under the *default* policy, epochs much cheaper than the plan's
         // estimate (tiny or empty batches) must not trigger cost-drift

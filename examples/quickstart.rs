@@ -6,7 +6,7 @@
 //! cargo run -p mvmqo-examples --bin quickstart
 //! ```
 
-use mvmqo_core::api::{optimize, MaintenanceProblem};
+use mvmqo_core::api::MaintenanceProblem;
 use mvmqo_core::update::UpdateModel;
 use mvmqo_exec::{eval_logical, execute_program, index_plan_from_report};
 use mvmqo_relalg::tuple::bag_eq;
@@ -36,7 +36,8 @@ fn main() {
     // 4. Optimize: greedy selection of extra views/indices + plans.
     let problem = MaintenanceProblem::new(views.clone(), updates).with_pk_indices(&tpcd.catalog);
     let initial_indices = problem.initial_indices.clone();
-    let report = optimize(&mut tpcd.catalog, &problem);
+    let planned = mvmqo_core::api::plan_maintenance(&mut tpcd.catalog, &problem);
+    let (dag, report) = (planned.dag, planned.report);
     println!(
         "estimated maintenance cost: {:.2}s (NoGreedy baseline {:.2}s)",
         report.total_cost, report.nogreedy_cost
@@ -52,7 +53,6 @@ fn main() {
     }
 
     // 5. Execute the maintenance program.
-    let (dag, _) = mvmqo_core::api::build_dag(&mut tpcd.catalog, &views);
     let index_plan = index_plan_from_report(&initial_indices, &report);
     let exec = execute_program(
         &dag,

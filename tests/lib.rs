@@ -2,7 +2,7 @@
 //! star-ish schema with real data, delta generation, and an end-to-end
 //! "optimize → execute → verify against recomputation" harness.
 
-use mvmqo_core::api::{optimize, MaintenanceProblem, OptimizerReport};
+use mvmqo_core::api::{MaintenanceProblem, OptimizerReport};
 use mvmqo_core::update::UpdateModel;
 use mvmqo_exec::{eval_logical, execute_program, index_plan_from_report, ExecReport};
 use mvmqo_relalg::catalog::{Catalog, ColumnSpec, TableId};
@@ -202,8 +202,8 @@ pub fn optimize_execute_verify(
     problem.options = options;
     problem = problem.with_pk_indices(&world.catalog);
     let initial_indices = problem.initial_indices.clone();
-    let report = optimize(&mut world.catalog, &problem);
-    let (dag, _) = mvmqo_core::api::build_dag(&mut world.catalog, &views);
+    let planned = mvmqo_core::api::plan_maintenance(&mut world.catalog, &problem);
+    let (dag, report) = (planned.dag, planned.report);
     let index_plan = index_plan_from_report(&initial_indices, &report);
     let exec = execute_program(
         &dag,

@@ -142,8 +142,15 @@ proptest! {
             )),
         ];
         let deltas = generate_deltas(&world, percent as f64, seed);
+        // audit_incremental: every greedy pick cross-checks the §6.2
+        // incremental cost update against a full memo recompute (panics —
+        // test failure — on divergence).
+        let options = GreedyOptions {
+            audit_incremental: true,
+            ..Default::default()
+        };
         let (report, _) = optimize_execute_verify(
-            &mut world, views, &deltas, GreedyOptions::default());
+            &mut world, views, &deltas, options);
         prop_assert!(report.total_cost <= report.nogreedy_cost + 1e-6);
         for m in &report.chosen_mats {
             prop_assert!(m.benefit > 0.0);

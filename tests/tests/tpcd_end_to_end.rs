@@ -4,7 +4,7 @@
 //! workloads and both optimizers, including the no-initial-indices setting
 //! of Figure 5(b).
 
-use mvmqo_core::api::{optimize, MaintenanceProblem};
+use mvmqo_core::api::MaintenanceProblem;
 use mvmqo_core::opt::{GreedyOptions, Mode};
 use mvmqo_core::update::UpdateModel;
 use mvmqo_exec::{eval_logical, execute_program, index_plan_from_report};
@@ -35,8 +35,8 @@ fn run_and_verify(
         problem = problem.with_pk_indices(&tpcd.catalog);
     }
     let initial_indices = problem.initial_indices.clone();
-    let report = optimize(&mut tpcd.catalog, &problem);
-    let (dag, _) = mvmqo_core::api::build_dag(&mut tpcd.catalog, &views);
+    let planned = mvmqo_core::api::plan_maintenance(&mut tpcd.catalog, &problem);
+    let (dag, report) = (planned.dag, planned.report);
     let index_plan = index_plan_from_report(&initial_indices, &report);
     let exec = execute_program(
         &dag,

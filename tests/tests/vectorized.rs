@@ -7,7 +7,7 @@
 //! under the parallel scheduler produce exactly the same view contents as
 //! serial execution.
 
-use mvmqo_core::api::{build_dag, optimize, MaintenanceProblem};
+use mvmqo_core::api::{plan_maintenance, MaintenanceProblem};
 use mvmqo_core::cost::CostModel;
 use mvmqo_core::dag::Dag;
 use mvmqo_core::opt::StoredRef;
@@ -432,8 +432,8 @@ fn run_epoch_with(parallel: bool, percent: f64, seed: u64) -> BTreeMap<String, V
     let updates = update_model_for(&deltas);
     let problem = MaintenanceProblem::new(views.clone(), updates).with_pk_indices(&world.catalog);
     let initial_indices = problem.initial_indices.clone();
-    let report = optimize(&mut world.catalog, &problem);
-    let (dag, _) = build_dag(&mut world.catalog, &views);
+    let planned = plan_maintenance(&mut world.catalog, &problem);
+    let (dag, report) = (planned.dag, planned.report);
     let index_plan = index_plan_from_report(&initial_indices, &report);
     let mut state = RuntimeState::new();
     let exec = execute_epoch_opts(

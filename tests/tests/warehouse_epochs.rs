@@ -196,9 +196,14 @@ fn view_churn_reoptimizes_and_stays_correct() {
     wh.drop_view(&names[0]).unwrap();
     assert_eq!(wh.views().len(), 4);
     assert!(matches!(
-        wh.replans().last(),
-        Some((_, ReoptTrigger::ViewSetChanged))
+        wh.replans().last().map(|r| r.trigger),
+        Some(ReoptTrigger::ViewSetChanged)
     ));
+    // A view-set change on a warmed-up session replans incrementally.
+    assert_eq!(
+        wh.replans().last().unwrap().mode,
+        mvmqo_warehouse::PlanMode::Incremental
+    );
     ingest_epoch(&tpcd, &mut wh, 5.0, 1, 3);
     let r = wh.run_epoch().unwrap();
     // The post-drop plan was made while deltas from epoch 0 were already
