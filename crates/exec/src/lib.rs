@@ -30,7 +30,7 @@ pub mod runtime;
 pub use meter::Meter;
 pub use reference::eval_logical;
 pub use run::{
-    execute_epoch, execute_epoch_opts, execute_program, index_plan_from_report, view_root,
-    ExecOptions, ExecReport, IndexPlan,
+    effective_parallel, execute_epoch, execute_epoch_opts, execute_program, index_plan_from_report,
+    scheduler_description, view_root, ExecOptions, ExecReport, IndexPlan,
 };
-pub use runtime::{align_rows, Runtime, RuntimeState};
+pub use runtime::{align_rows, AggState, DistinctState, Runtime, RuntimeState};

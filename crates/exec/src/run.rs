@@ -20,6 +20,7 @@ use mvmqo_core::cost::CostModel;
 use mvmqo_core::dag::{Dag, EqId};
 use mvmqo_core::opt::StoredRef;
 use mvmqo_core::plan::{MergeKind, Program};
+use mvmqo_relalg::batch::Batch;
 use mvmqo_relalg::catalog::Catalog;
 use mvmqo_relalg::schema::AttrId;
 use mvmqo_relalg::tuple::Tuple;
@@ -40,7 +41,9 @@ pub struct ExecReport {
     /// Detailed maintenance meter.
     pub maintenance_meter: Meter,
     /// Final contents per view (the refreshed multisets; tests compare them
-    /// against recomputation).
+    /// against recomputation). Empty when the epoch ran with
+    /// [`ExecOptions::collect_view_rows`] off — the maintained state stays
+    /// columnar and rows are materialized on demand instead.
     pub view_rows: BTreeMap<String, Vec<Tuple>>,
     /// Views that fell back to recomputation mid-run (MIN/MAX deletions).
     pub forced_recomputes: usize,
@@ -54,22 +57,68 @@ pub struct ExecReport {
 }
 
 /// Executor scheduling options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     /// Execute independent plan roots of each epoch phase concurrently
     /// (scoped threads). Results are bag-identical to serial execution:
     /// every parallel evaluation reads the same pre-phase state, and all
     /// merges/stores are applied serially in program order.
+    ///
+    /// On a single-hardware-thread host the request is ignored (see
+    /// [`effective_parallel`]): the scheduler's levelling overhead cannot
+    /// be repaid without a second core.
     pub parallel: bool,
+    /// Materialize every view's rows into [`ExecReport::view_rows`] at the
+    /// end of the epoch. Long-lived engines that serve reads on demand
+    /// (the warehouse `query` path) turn this off — view state then stays
+    /// columnar across epochs and rows are only built when a user asks.
+    pub collect_view_rows: bool,
+    /// Run the parallel scheduler even on a 1-thread host, bypassing the
+    /// [`effective_parallel`] auto-disable. For tests and benchmarks that
+    /// must exercise the parallel code path regardless of the machine —
+    /// without it, the parallel≡serial property test is vacuous on
+    /// single-core CI.
+    pub force_parallel: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            parallel: false,
+            collect_view_rows: true,
+            force_parallel: false,
+        }
+    }
 }
 
 impl ExecOptions {
     pub fn serial() -> Self {
-        ExecOptions { parallel: false }
+        ExecOptions::default()
     }
 
     pub fn parallel() -> Self {
-        ExecOptions { parallel: true }
+        ExecOptions {
+            parallel: true,
+            ..ExecOptions::default()
+        }
+    }
+}
+
+/// Resolve a parallel-scheduler request against the host: with one
+/// hardware thread the epoch runs serially (the scheduler would only add
+/// levelling overhead — measured slower on 1-core containers).
+pub fn effective_parallel(requested: bool) -> bool {
+    requested && std::thread::available_parallelism().map_or(1, |n| n.get()) > 1
+}
+
+/// One-line scheduler description for `explain`/CLI output, naming the
+/// auto-disable when it bites.
+pub fn scheduler_description(requested: bool) -> String {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    match (requested, effective_parallel(requested)) {
+        (false, _) => "serial".to_string(),
+        (true, true) => format!("parallel ({threads} threads)"),
+        (true, false) => "parallel requested, 1 thread available, running serial".to_string(),
     }
 }
 
@@ -144,6 +193,17 @@ pub fn execute_epoch_opts(
     state: &mut RuntimeState,
     options: ExecOptions,
 ) -> ExecReport {
+    // Resolve the scheduler once: a parallel request on a 1-thread host
+    // runs serially (see `effective_parallel`) unless explicitly forced
+    // (tests covering the parallel path on single-core machines).
+    let options = ExecOptions {
+        parallel: if options.force_parallel {
+            options.parallel
+        } else {
+            effective_parallel(options.parallel)
+        },
+        ..options
+    };
     // Realize base indices. Skip ones that already exist: the storage
     // layer keeps indices in sync as deltas apply, so across epochs they
     // persist rather than being rebuilt.
@@ -235,20 +295,20 @@ pub fn execute_epoch_opts(
                 let results = crate::runtime::eval_parallel(&rt, &plans);
                 for (e, (batch, meter)) in level.into_iter().zip(results) {
                     rt.meter.absorb(&meter);
-                    rt.store_delta(e, u, batch.into_rows());
+                    rt.store_delta(e, u, batch);
                 }
             }
         } else {
             for (e, plan) in &step.temp_deltas {
-                let rows = rt.eval(plan);
-                rt.store_delta(*e, u, rows);
+                let batch = rt.eval_batch(plan);
+                rt.store_delta(*e, u, batch);
             }
         }
 
         // 2. Evaluate all merge deltas against the pre-step state (all of
         // them before any merge applies, so every plan sees updates < u;
         // that same independence is what lets them run concurrently)...
-        let mut merge_rows: Vec<(usize, Vec<Tuple>)> = Vec::with_capacity(step.merges.len());
+        let mut merge_batches: Vec<(usize, Batch)> = Vec::with_capacity(step.merges.len());
         if options.parallel && step.merges.len() > 1 {
             for merge in &step.merges {
                 rt.prepare(&merge.delta_plan);
@@ -258,24 +318,24 @@ pub fn execute_epoch_opts(
             let results = crate::runtime::eval_parallel(&rt, &plans);
             for (i, (batch, meter)) in results.into_iter().enumerate() {
                 rt.meter.absorb(&meter);
-                merge_rows.push((i, batch.into_rows()));
+                merge_batches.push((i, batch));
             }
         } else {
             for (i, merge) in step.merges.iter().enumerate() {
-                merge_rows.push((i, rt.eval(&merge.delta_plan)));
+                merge_batches.push((i, rt.eval_batch(&merge.delta_plan)));
             }
         }
-        // ...then apply them.
-        for (i, rows) in merge_rows {
+        // ...then apply them, columnar end-to-end.
+        for (i, batch) in merge_batches {
             let merge = &step.merges[i];
             match &merge.kind {
-                MergeKind::Plain => rt.merge_plain(merge.target, rows, kind),
+                MergeKind::Plain => rt.merge_plain(merge.target, batch, kind),
                 MergeKind::Aggregate { .. } => {
-                    if rt.merge_aggregate(merge.target, rows, kind) {
+                    if rt.merge_aggregate(merge.target, batch, kind) {
                         forced_recomputes += 1;
                     }
                 }
-                MergeKind::Distinct => rt.merge_distinct(merge.target, rows, kind),
+                MergeKind::Distinct => rt.merge_distinct(merge.target, batch, kind),
             }
         }
 
@@ -315,8 +375,15 @@ pub fn execute_epoch_opts(
         .views
         .iter()
         .map(|(name, e)| {
-            // Views must be materialized at the end of the cycle.
-            let rows = rt.materialize(*e).rows().to_vec();
+            // Views must be materialized at the end of the cycle; rows are
+            // only built when the caller asked for them — the one
+            // user-facing row conversion of the epoch.
+            let table = rt.materialize(*e);
+            let rows = if options.collect_view_rows {
+                table.batch().to_rows()
+            } else {
+                Vec::new()
+            };
             (name.clone(), rows)
         })
         .collect();

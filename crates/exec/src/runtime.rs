@@ -25,12 +25,13 @@ use mvmqo_core::opt::StoredRef;
 use mvmqo_core::plan::{PhysPlan, PlanNode};
 use mvmqo_core::update::UpdateId;
 use mvmqo_relalg::agg::{Accumulator, AggSpec};
-use mvmqo_relalg::batch::{Batch, Column, CompiledPredicate};
+use mvmqo_relalg::batch::{Batch, Column, ColumnData, CompiledPredicate};
 use mvmqo_relalg::catalog::Catalog;
 use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
+use mvmqo_relalg::hash::{u64_map_with_capacity, U64Map};
 use mvmqo_relalg::schema::{AttrId, Schema};
-use mvmqo_relalg::tuple::{bag_minus, Tuple};
-use mvmqo_relalg::types::Value;
+use mvmqo_relalg::tuple::Tuple;
+use mvmqo_relalg::types::{DataType, Value};
 use mvmqo_storage::database::Database;
 use mvmqo_storage::delta::{DeltaKind, DeltaSet};
 use mvmqo_storage::index::IndexKind;
@@ -48,7 +49,7 @@ pub struct AggState {
 }
 
 impl AggState {
-    fn new(group_by: Vec<AttrId>, specs: Vec<AggSpec>, input_schema: Schema) -> Self {
+    pub fn new(group_by: Vec<AttrId>, specs: Vec<AggSpec>, input_schema: Schema) -> Self {
         AggState {
             group_by,
             specs,
@@ -67,7 +68,7 @@ impl AggState {
     /// Fold raw input rows in (inserts) or out (deletes). Returns `true` if
     /// a non-removable aggregate (MIN/MAX) saw a deletion and the state can
     /// no longer answer exactly — the caller must recompute.
-    fn fold(&mut self, rows: &[Tuple], kind: DeltaKind) -> bool {
+    pub fn fold(&mut self, rows: &[Tuple], kind: DeltaKind) -> bool {
         let key_pos = self.key_positions();
         let mut needs_recompute = false;
         for row in rows {
@@ -96,8 +97,66 @@ impl AggState {
         needs_recompute
     }
 
+    /// Columnar [`AggState::fold`]: the merge path's input differential
+    /// arrives as a [`Batch`] and is folded by column access — group keys
+    /// and plain-column aggregate arguments read straight from the column
+    /// vectors; only general expressions fall back to a scratch row. The
+    /// batch is aligned to the state's input layout first, so column-order
+    /// drift cannot mis-bind arguments.
+    pub fn fold_batch(&mut self, batch: &Batch, kind: DeltaKind) -> bool {
+        let batch = batch.clone().align(&self.input_schema);
+        let key_pos = self.key_positions();
+        let arg_cols: Vec<Option<usize>> = self
+            .specs
+            .iter()
+            .map(|s| match &s.input {
+                ScalarExpr::Col(id) => self.input_schema.position_of(*id),
+                _ => None,
+            })
+            .collect();
+        let mut needs_recompute = false;
+        let mut scratch: Vec<Value> = Vec::new();
+        for i in 0..batch.num_rows() {
+            let phys = batch.physical(i) as usize;
+            let key: Vec<Value> = key_pos
+                .iter()
+                .map(|&c| batch.column(c).value(phys))
+                .collect();
+            let specs = &self.specs;
+            let entry = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| specs.iter().map(|s| Accumulator::new(s.func)).collect());
+            let mut scratch_filled = false;
+            for ((acc, spec), arg) in entry.iter_mut().zip(specs).zip(&arg_cols) {
+                let v = match arg {
+                    Some(c) => batch.column(*c).value(phys),
+                    None => {
+                        if !scratch_filled {
+                            batch.write_row(phys as u32, &mut scratch);
+                            scratch_filled = true;
+                        }
+                        spec.input.eval(&scratch, &self.input_schema)
+                    }
+                };
+                match kind {
+                    DeltaKind::Insert => acc.add(&v),
+                    DeltaKind::Delete => {
+                        if spec.func.removable() {
+                            acc.remove(&v);
+                        } else {
+                            needs_recompute = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.groups.retain(|_, accs| !accs[0].is_empty());
+        needs_recompute
+    }
+
     /// Current view rows: group key columns followed by aggregate values.
-    fn rows(&self) -> Vec<Tuple> {
+    pub fn rows(&self) -> Vec<Tuple> {
         let mut out: Vec<Tuple> = self
             .groups
             .iter()
@@ -110,6 +169,31 @@ impl AggState {
         out.sort();
         out
     }
+
+    /// Current view contents as a columnar batch in `schema` layout (group
+    /// keys then aggregate outputs), sorted by key for the deterministic
+    /// order the row path produced. This is what the deferred merge rebuild
+    /// installs — no row materialization.
+    pub fn output_batch(&self, schema: &Schema) -> Batch {
+        let mut entries: Vec<(&Vec<Value>, &Vec<Accumulator>)> = self.groups.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut columns: Vec<Column> = schema
+            .attrs()
+            .iter()
+            .map(|a| Column::with_capacity(a.data_type, entries.len()))
+            .collect();
+        let nkeys = self.group_by.len();
+        debug_assert_eq!(schema.len(), nkeys + self.specs.len());
+        for (key, accs) in entries {
+            for (c, v) in key.iter().enumerate() {
+                columns[c].push(v);
+            }
+            for (k, acc) in accs.iter().enumerate() {
+                columns[nkeys + k].push(&acc.finish());
+            }
+        }
+        Batch::from_columns(schema.clone(), columns)
+    }
 }
 
 /// Hidden support counts for a maintained DISTINCT view.
@@ -119,7 +203,7 @@ pub struct DistinctState {
 }
 
 impl DistinctState {
-    fn fold(&mut self, rows: &[Tuple], kind: DeltaKind) {
+    pub fn fold(&mut self, rows: &[Tuple], kind: DeltaKind) {
         for row in rows {
             let c = self.counts.entry(row.clone()).or_insert(0);
             match kind {
@@ -130,10 +214,46 @@ impl DistinctState {
         self.counts.retain(|_, c| *c > 0);
     }
 
-    fn rows(&self) -> Vec<Tuple> {
+    /// Columnar [`DistinctState::fold`]: support counts updated from a
+    /// differential batch (aligned to `schema`, the stored layout) using
+    /// the batch's own multiset counts, so each distinct delta row is
+    /// materialized once instead of once per occurrence.
+    pub fn fold_batch(&mut self, batch: &Batch, schema: &Schema, kind: DeltaKind) {
+        let batch = batch.clone().align(schema);
+        for (rep, n) in batch.counts() {
+            let row = batch.tuple_at_physical(rep);
+            let c = self.counts.entry(row).or_insert(0);
+            match kind {
+                DeltaKind::Insert => *c += n,
+                DeltaKind::Delete => *c -= n,
+            }
+        }
+        self.counts.retain(|_, c| *c > 0);
+    }
+
+    pub fn rows(&self) -> Vec<Tuple> {
         let mut out: Vec<Tuple> = self.counts.keys().cloned().collect();
         out.sort();
         out
+    }
+
+    /// Current view contents as a sorted columnar batch (deferred merge
+    /// rebuild install path).
+    pub fn output_batch(&self, schema: &Schema) -> Batch {
+        let mut keys: Vec<&Tuple> = self.counts.keys().collect();
+        keys.sort();
+        let mut columns: Vec<Column> = schema
+            .attrs()
+            .iter()
+            .map(|a| Column::with_capacity(a.data_type, keys.len()))
+            .collect();
+        for row in keys {
+            debug_assert_eq!(row.len(), columns.len());
+            for (c, v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        Batch::from_columns(schema.clone(), columns)
     }
 }
 
@@ -152,6 +272,11 @@ pub struct RuntimeState {
     pub(crate) fresh: HashSet<EqId>,
     pub(crate) agg_states: HashMap<EqId, AggState>,
     pub(crate) distinct_states: HashMap<EqId, DistinctState>,
+    /// Maintained aggregate/distinct results whose hidden support state has
+    /// absorbed merges the stored image has not: the stored table is
+    /// rebuilt from the state *once*, at the first read (or at epoch end),
+    /// instead of after every one of the step-by-step merges that touch it.
+    pub(crate) deferred: HashSet<EqId>,
 }
 
 impl RuntimeState {
@@ -188,6 +313,10 @@ impl RuntimeState {
     /// and is maintained by the new one carries over instead of being
     /// rebuilt at the next epoch's setup.
     pub fn retain_mats(&mut self, keep: &HashSet<EqId>) {
+        debug_assert!(
+            self.deferred.is_empty(),
+            "deferred rebuilds must be realized before state is carried over"
+        );
         self.mats.retain(|e, _| keep.contains(e));
         self.fresh.retain(|e| keep.contains(e));
         self.agg_states.retain(|e, _| keep.contains(e));
@@ -230,7 +359,7 @@ pub struct Runtime<'a> {
     /// Indices to maintain on materialized nodes (chosen by the optimizer).
     mat_indices: HashMap<EqId, Vec<AttrId>>,
     state: RuntimeState,
-    delta_store: HashMap<(EqId, UpdateId), Vec<Tuple>>,
+    delta_store: HashMap<(EqId, UpdateId), Batch>,
     /// Full results actually (re)computed this cycle — stays at zero for
     /// results served from a persisted [`RuntimeState`].
     pub full_builds: usize,
@@ -289,21 +418,70 @@ impl<'a> Runtime<'a> {
     }
 
     /// Hand the materialized state back to the caller (end of an epoch).
+    /// Any deferred aggregate/distinct rebuilds are realized first, so the
+    /// persisted state always serves current stored images.
     pub fn take_state(&mut self) -> RuntimeState {
+        let deferred: Vec<EqId> = self.state.deferred.iter().copied().collect();
+        for e in deferred {
+            self.realize_deferred(e);
+        }
         std::mem::take(&mut self.state)
     }
 
-    /// Rows of a materialized result (test/report access; does not compute).
+    /// Rebuild a maintained aggregate/distinct result's stored table from
+    /// its hidden support state (the deferred half of a merge). Columnar:
+    /// the output batch is built straight from the accumulators.
+    fn realize_deferred(&mut self, e: EqId) {
+        if !self.state.deferred.remove(&e) {
+            return;
+        }
+        let schema = self
+            .state
+            .mats
+            .get(&e)
+            .expect("deferred result stored")
+            .schema()
+            .clone();
+        let batch = if let Some(st) = self.state.agg_states.get(&e) {
+            st.output_batch(&schema)
+        } else if let Some(st) = self.state.distinct_states.get(&e) {
+            st.output_batch(&schema)
+        } else {
+            unreachable!("deferred {e} has neither aggregate nor distinct state")
+        };
+        // No extra meter charge: the merges that made the state current
+        // were charged when they folded, exactly as the eager path was.
+        let mut table = StoredTable::from_batch(batch);
+        for attr in self.mat_indices.get(&e).cloned().unwrap_or_default() {
+            table.create_index(attr, IndexKind::Hash);
+        }
+        self.state.mats.insert(e, table);
+    }
+
+    /// Rows of a materialized result (test/report access; does not
+    /// compute). Returns `None` while `e` has a *deferred* rebuild
+    /// pending (its support state absorbed merges the stored image has
+    /// not) — serving the stale image silently would be a trap; use
+    /// [`Runtime::materialize`] to realize and read.
     pub fn mat_rows(&self, e: EqId) -> Option<&[Tuple]> {
+        if self.state.deferred.contains(&e) {
+            return None;
+        }
         self.state.mats.get(&e).map(|t| t.rows())
     }
 
-    /// Ensure a materialized result exists and is fresh; returns its rows.
+    /// Ensure a materialized result exists, is fresh, and its stored image
+    /// is current; returns the stored table.
     pub fn materialize(&mut self, e: EqId) -> &StoredTable {
         if !self.state.fresh.contains(&e) {
+            // A pending deferred rebuild is moot: the full rebuild below
+            // replaces the stored image (and its support state) anyway.
+            self.state.deferred.remove(&e);
             let work = self.claim_build(e);
-            let rows = self.eval(&work.eval_plan);
-            self.install_build(work, rows);
+            let batch = self.eval_batch(&work.eval_plan);
+            self.install_build(work, batch);
+        } else {
+            self.realize_deferred(e);
         }
         self.state.mats.get(&e).expect("just materialized")
     }
@@ -354,35 +532,38 @@ impl<'a> Runtime<'a> {
 
     /// Install one evaluated build: fold hidden aggregate/distinct support
     /// state if the root needs it, charge the store, build the table with
-    /// its chosen indices, and mark it fresh.
-    fn install_build(&mut self, work: MatWork, eval_rows: Vec<Tuple>) {
+    /// its chosen indices, and mark it fresh. Columnar end-to-end: the
+    /// evaluated batch is adopted (plain roots) or folded and re-emitted
+    /// from the support state (grouped/distinct roots) without a row
+    /// detour.
+    fn install_build(&mut self, work: MatWork, eval_batch: Batch) {
         let MatWork {
             e, schema, kind, ..
         } = work;
-        let rows = match kind {
-            RootKind::Plain => eval_rows,
+        let batch = match kind {
+            RootKind::Plain => eval_batch.align(&schema),
             RootKind::Agg {
                 group_by,
                 aggs,
                 input_schema,
             } => {
                 let mut state = AggState::new(group_by, aggs, input_schema);
-                state.fold(&eval_rows, DeltaKind::Insert);
-                let rows = state.rows();
+                state.fold_batch(&eval_batch, DeltaKind::Insert);
+                let batch = state.output_batch(&schema);
                 self.state.agg_states.insert(e, state);
-                rows
+                batch
             }
             RootKind::Distinct => {
                 let mut state = DistinctState::default();
-                state.fold(&eval_rows, DeltaKind::Insert);
-                let rows = state.rows();
+                state.fold_batch(&eval_batch, &schema, DeltaKind::Insert);
+                let batch = state.output_batch(&schema);
                 self.state.distinct_states.insert(e, state);
-                rows
+                batch
             }
         };
         self.meter
-            .charge_seq(&self.model, rows.len(), schema.row_width());
-        let mut table = StoredTable::with_rows(schema, rows);
+            .charge_seq(&self.model, batch.num_rows(), schema.row_width());
+        let mut table = StoredTable::from_batch(batch);
         for attr in self.mat_indices.get(&e).cloned().unwrap_or_default() {
             table.create_index(attr, IndexKind::Hash);
         }
@@ -440,7 +621,7 @@ impl<'a> Runtime<'a> {
             // Serial installation, in target order.
             for (w, (batch, meter)) in work.into_iter().zip(results) {
                 self.meter.absorb(&meter);
-                self.install_build(w, batch.into_rows());
+                self.install_build(w, batch);
             }
         }
     }
@@ -451,6 +632,7 @@ impl<'a> Runtime<'a> {
         self.state.fresh.remove(&e);
         self.state.agg_states.remove(&e);
         self.state.distinct_states.remove(&e);
+        self.state.deferred.remove(&e);
     }
 
     /// Mark every materialization depending on `table` stale, except the
@@ -472,11 +654,16 @@ impl<'a> Runtime<'a> {
         }
     }
 
-    /// Store a temporarily materialized differential.
-    pub fn store_delta(&mut self, e: EqId, u: UpdateId, rows: Vec<Tuple>) {
-        self.meter
-            .charge_seq(&self.model, rows.len(), self.dag.eq(e).schema.row_width());
-        self.delta_store.insert((e, u), rows);
+    /// Store a temporarily materialized differential, columnar: the batch
+    /// that fell out of evaluation is kept as-is (columns `Arc`-shared), so
+    /// downstream `ReadDelta`s serve it without a row round-trip.
+    pub fn store_delta(&mut self, e: EqId, u: UpdateId, batch: Batch) {
+        self.meter.charge_seq(
+            &self.model,
+            batch.num_rows(),
+            self.dag.eq(e).schema.row_width(),
+        );
+        self.delta_store.insert((e, u), batch);
     }
 
     /// Clear stored differentials of one update step.
@@ -488,65 +675,61 @@ impl<'a> Runtime<'a> {
     // Merging (§6.1: how maintained results absorb differentials)
     // ==================================================================
 
-    /// Merge plain delta rows into a maintained result.
-    pub fn merge_plain(&mut self, e: EqId, rows: Vec<Tuple>, kind: DeltaKind) {
+    /// Merge a plain differential batch into a maintained result. Fully
+    /// columnar: the delta batch is aligned to the stored layout and
+    /// applied as a column append (inserts) or a keep-mask compaction with
+    /// index position remap (deletes).
+    pub fn merge_plain(&mut self, e: EqId, delta: Batch, kind: DeltaKind) {
         let width = self.dag.eq(e).schema.row_width();
-        self.meter.charge_seq(&self.model, rows.len(), width);
+        self.meter.charge_seq(&self.model, delta.num_rows(), width);
         let table = self
             .state
             .mats
             .get_mut(&e)
             .expect("maintained result stored");
+        let delta = delta.align(table.schema());
         match kind {
-            DeltaKind::Insert => {
-                table.apply_delta(&mvmqo_storage::delta::DeltaBatch::new(rows, vec![]))
-            }
-            DeltaKind::Delete => {
-                table.apply_delta(&mvmqo_storage::delta::DeltaBatch::new(vec![], rows))
-            }
+            DeltaKind::Insert => table.apply_batch_delta(Some(&delta), None),
+            DeltaKind::Delete => table.apply_batch_delta(None, Some(&delta)),
         }
         self.state.fresh.insert(e);
     }
 
-    /// Merge raw input delta rows into a maintained aggregate. Returns
-    /// `true` if the view had to fall back to recomputation (MIN/MAX
-    /// deletion).
-    pub fn merge_aggregate(&mut self, e: EqId, input_rows: Vec<Tuple>, kind: DeltaKind) -> bool {
-        self.meter.charge_cpu(&self.model, input_rows.len());
+    /// Merge a raw input differential batch into a maintained aggregate.
+    /// The fold is immediate; the stored table rebuild is *deferred* until
+    /// the result is next read (or the epoch ends), so a view whose input
+    /// is touched by several update steps re-emits its groups once, not
+    /// once per step. Returns `true` if the view had to fall back to
+    /// recomputation (MIN/MAX deletion).
+    pub fn merge_aggregate(&mut self, e: EqId, input: Batch, kind: DeltaKind) -> bool {
+        self.meter.charge_cpu(&self.model, input.num_rows());
         let state = self.state.agg_states.get_mut(&e).expect("aggregate state");
-        let needs_recompute = state.fold(&input_rows, kind);
+        let needs_recompute = state.fold_batch(&input, kind);
         if needs_recompute {
             // Affected-group recompute, realized as a full refresh (§3.1.2's
             // "significant extra work"; the cost model charges the same).
+            self.state.deferred.remove(&e);
             self.state.fresh.remove(&e);
             self.materialize(e);
             return true;
         }
-        let rows = state.rows();
-        let schema = self.state.mats.get(&e).expect("stored").schema().clone();
-        let mut table = StoredTable::with_rows(schema, rows);
-        for attr in self.mat_indices.get(&e).cloned().unwrap_or_default() {
-            table.create_index(attr, IndexKind::Hash);
-        }
-        self.state.mats.insert(e, table);
+        self.state.deferred.insert(e);
         self.state.fresh.insert(e);
         false
     }
 
-    /// Merge raw input delta rows into a maintained DISTINCT view.
-    pub fn merge_distinct(&mut self, e: EqId, input_rows: Vec<Tuple>, kind: DeltaKind) {
-        self.meter.charge_cpu(&self.model, input_rows.len());
+    /// Merge a raw input differential batch into a maintained DISTINCT
+    /// view (support-count fold now, stored rebuild deferred).
+    pub fn merge_distinct(&mut self, e: EqId, input: Batch, kind: DeltaKind) {
+        self.meter.charge_cpu(&self.model, input.num_rows());
+        let schema = self.state.mats.get(&e).expect("stored").schema().clone();
         let state = self
             .state
             .distinct_states
             .get_mut(&e)
             .expect("distinct state");
-        state.fold(&input_rows, kind);
-        let rows = state.rows();
-        let schema = self.state.mats.get(&e).expect("stored").schema().clone();
-        self.state
-            .mats
-            .insert(e, StoredTable::with_rows(schema, rows));
+        state.fold_batch(&input, &schema, kind);
+        self.state.deferred.insert(e);
         self.state.fresh.insert(e);
     }
 
@@ -653,7 +836,7 @@ pub(crate) struct EvalCtx<'r> {
     pub db: &'r Database,
     pub deltas: &'r DeltaSet,
     pub mats: &'r HashMap<EqId, StoredTable>,
-    pub delta_store: &'r HashMap<(EqId, UpdateId), Vec<Tuple>>,
+    pub delta_store: &'r HashMap<(EqId, UpdateId), Batch>,
 }
 
 impl EvalCtx<'_> {
@@ -664,7 +847,9 @@ impl EvalCtx<'_> {
         match &plan.node {
             PlanNode::ScanBase(t) => {
                 let table = self.db.base(*t).expect("base table loaded");
-                let batch = (*table.to_batch()).clone().align(&plan.schema);
+                // O(width): the stored image is primary and its columns are
+                // Arc-shared with the clone.
+                let batch = table.batch().clone().align(&plan.schema);
                 meter.charge_seq(self.model, batch.num_rows(), plan.schema.row_width());
                 batch
             }
@@ -678,17 +863,21 @@ impl EvalCtx<'_> {
                     .mats
                     .get(e)
                     .unwrap_or_else(|| panic!("materialized node {e} not prepared"));
-                let batch = (*table.to_batch()).clone().align(&plan.schema);
+                let batch = table.batch().clone().align(&plan.schema);
                 meter.charge_seq(self.model, batch.num_rows(), plan.schema.row_width());
                 batch
             }
             PlanNode::ReadDelta(e, u) => {
-                let rows = self
+                // Stored differentials are columnar: serving one is a
+                // column-handle clone plus alignment, never a row rebuild.
+                let batch = self
                     .delta_store
                     .get(&(*e, *u))
-                    .unwrap_or_else(|| panic!("δ({e},{u}) not stored"));
-                meter.charge_seq(self.model, rows.len(), plan.schema.row_width());
-                Batch::from_rows(plan.schema.clone(), rows)
+                    .unwrap_or_else(|| panic!("δ({e},{u}) not stored"))
+                    .clone()
+                    .align(&plan.schema);
+                meter.charge_seq(self.model, batch.num_rows(), plan.schema.row_width());
+                batch
             }
             PlanNode::IndexScan { target, attr, pred } => {
                 self.eval_index_scan(plan, *target, *attr, pred, meter)
@@ -751,11 +940,13 @@ impl EvalCtx<'_> {
                 out
             }
             PlanNode::Minus { left, right } => {
-                let l = self.eval(left, meter).into_rows();
-                let r = self.eval(right, meter).align(&left.schema).into_rows();
-                meter.charge_cpu(self.model, l.len() + r.len());
+                // Columnar set difference: both sides stay batches; keys
+                // are hashed and compared by column position.
+                let l = self.eval(left, meter);
+                let r = self.eval(right, meter).align(&left.schema);
+                meter.charge_cpu(self.model, l.num_rows() + r.num_rows());
                 debug_assert_eq!(plan.schema.ids(), left.schema.ids());
-                Batch::from_rows(plan.schema.clone(), &bag_minus(&l, &r))
+                l.minus(&r).align(&plan.schema)
             }
             PlanNode::Distinct { input } => self.eval_distinct(plan, input, meter),
         }
@@ -802,11 +993,11 @@ impl EvalCtx<'_> {
         let mut batch = match eq_value.as_ref().and_then(|v| table.probe(attr, v)) {
             Some(positions) => {
                 // Probe returned row positions; select only the hits.
-                let mut b = (*table.to_batch()).clone();
+                let mut b = table.batch().clone();
                 b.set_selection(positions.to_vec());
                 b
             }
-            None => (*table.to_batch()).clone(),
+            None => table.batch().clone(),
         };
         let compiled = CompiledPredicate::compile(pred, schema);
         let mut scratch = Vec::new();
@@ -844,7 +1035,7 @@ impl EvalCtx<'_> {
         // columns at each position: hash once per row, no per-row key
         // vector is ever allocated; candidate collisions are resolved by
         // comparing key columns position-to-position.
-        let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(build_b.num_rows());
+        let mut table: U64Map<Vec<u32>> = u64_map_with_capacity(build_b.num_rows());
         for i in 0..build_b.num_rows() {
             let phys = build_b.physical(i);
             if build_b.any_null(phys, &bcols) {
@@ -1017,19 +1208,24 @@ impl EvalCtx<'_> {
     ) -> Batch {
         let outer_b = self.eval(outer, meter);
         let okey_col = outer.schema.position_of(keys.0).expect("outer key");
-        // The inner is probed *in place* through its index — no snapshot.
+        // The inner is probed *in place* through its index, against its
+        // columnar image — no snapshot and no row materialization.
         // `Runtime::prepare` already created the index the optimizer
         // assumed.
         let inner_table = self.stored(inner);
         let inner_schema = inner_table.schema();
+        let inner_b = inner_table.batch();
         let idx = inner_table
             .index_on(keys.1)
             .expect("inner index prepared before evaluation");
+        let inner_compiled = (!inner_filter.is_true())
+            .then(|| CompiledPredicate::compile(inner_filter, inner_schema));
         let combined = outer.schema.concat(inner_schema);
         let out_positions = positions_for(&combined, &plan.schema);
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         let mut pages = 0usize;
         let mut joined = Vec::new();
+        let mut scratch = Vec::new();
         let key_column = outer_b.column(okey_col);
         for i in 0..outer_b.num_rows() {
             let op = outer_b.physical(i) as usize;
@@ -1038,14 +1234,17 @@ impl EvalCtx<'_> {
             }
             let key = key_column.value(op);
             for &pos in idx.lookup_eq(&key) {
-                let irow = inner_table.row(pos);
-                if !inner_filter.is_true() && !inner_filter.matches(irow, inner_schema) {
-                    continue;
+                if let Some(compiled) = &inner_compiled {
+                    if !compiled.matches_at(inner_b, pos, &mut scratch) {
+                        continue;
+                    }
                 }
                 pages += 1;
                 if !residual.is_true() {
                     outer_b.write_row(op as u32, &mut joined);
-                    joined.extend(irow.iter().cloned());
+                    for c in 0..inner_schema.len() {
+                        joined.push(inner_b.column(c).value(pos as usize));
+                    }
                     if !residual.matches(&joined, &combined) {
                         continue;
                     }
@@ -1060,29 +1259,41 @@ impl EvalCtx<'_> {
             inner_table.len(),
             inner_schema.row_width(),
         );
-        // Output: outer columns gather by pair positions; inner columns
-        // are built from the stored rows at the matched positions.
+        // Output: outer and inner columns both gather by pair positions.
         let outer_width = outer.schema.len();
-        let outer_idx: Vec<u32> = pairs.iter().map(|&(o, _)| o).collect();
+        let mut outer_idx: Option<Vec<u32>> = None;
+        let mut inner_idx: Option<Vec<u32>> = None;
         let columns: Vec<Column> = out_positions
             .iter()
             .map(|&p| {
                 if p < outer_width {
-                    outer_b.column(p).gather(&outer_idx)
+                    let idx =
+                        outer_idx.get_or_insert_with(|| pairs.iter().map(|&(o, _)| o).collect());
+                    outer_b.column(p).gather(idx)
                 } else {
-                    let inner_col = p - outer_width;
-                    let dt = inner_schema.attrs()[inner_col].data_type;
-                    let mut col = Column::with_capacity(dt, pairs.len());
-                    for &(_, ipos) in &pairs {
-                        col.push(&inner_table.row(ipos)[inner_col]);
-                    }
-                    col
+                    let idx =
+                        inner_idx.get_or_insert_with(|| pairs.iter().map(|&(_, i)| i).collect());
+                    inner_b.column(p - outer_width).gather(idx)
                 }
             })
             .collect();
         Batch::from_columns(plan.schema.clone(), columns)
     }
 
+    /// Columnar grouped aggregation. Two column-at-a-time passes replace
+    /// the per-row `Accumulator` loop:
+    ///
+    /// 1. *group-id assignment* — key columns are hashed by position into a
+    ///    `hash → group` table (collisions resolved by column comparison),
+    ///    producing one `u32` group id per input row;
+    /// 2. *per-aggregate kernels* — each aggregate walks its input column
+    ///    once, updating a typed state vector (`f64` sums, `i64` counts,
+    ///    typed min/max) indexed by group id. Only `Mixed` columns and
+    ///    general expressions fall back to per-group [`Accumulator`]s.
+    ///
+    /// Output columns are emitted directly from the kernel states, in key
+    /// order — semantics (NULL handling, Int/Float promotion, empty-group
+    /// results) replicate [`Accumulator`] exactly.
     fn eval_hash_aggregate(
         &self,
         plan: &PhysPlan,
@@ -1097,83 +1308,64 @@ impl EvalCtx<'_> {
             .iter()
             .map(|g| input.schema.position_of(*g).expect("group attr"))
             .collect();
-        // Aggregate inputs: direct column reads for plain columns, scratch
-        // row for general expressions.
-        enum AggInput<'p> {
-            Col(usize),
-            Expr(&'p ScalarExpr),
-        }
-        let agg_inputs: Vec<AggInput> = aggs
-            .iter()
-            .map(|s| match &s.input {
-                ScalarExpr::Col(id) => match input.schema.position_of(*id) {
-                    Some(pos) => AggInput::Col(pos),
-                    None => AggInput::Expr(&s.input),
-                },
-                e => AggInput::Expr(e),
-            })
-            .collect();
-        // Group table keyed by borrowed column positions: per distinct key,
-        // a representative physical row and the accumulators.
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-        let mut groups: Vec<(u32, Vec<Accumulator>)> = Vec::new();
-        let mut scratch = Vec::new();
-        for i in 0..in_b.num_rows() {
+        let n = in_b.num_rows();
+        // Pass 1: group ids.
+        let mut buckets: U64Map<Vec<u32>> = u64_map_with_capacity(n.min(1 << 16));
+        let mut reps: Vec<u32> = Vec::new();
+        let mut gids: Vec<u32> = Vec::with_capacity(n);
+        for i in 0..n {
             let phys = in_b.physical(i);
             let h = in_b.hash_keys(phys, &key_cols);
             let ids = buckets.entry(h).or_default();
-            let gid =
-                match ids.iter().copied().find(|&g| {
-                    in_b.keys_eq(groups[g as usize].0, &key_cols, &in_b, phys, &key_cols)
-                }) {
-                    Some(g) => g as usize,
-                    None => {
-                        let g = groups.len();
-                        groups.push((
-                            phys,
-                            aggs.iter().map(|s| Accumulator::new(s.func)).collect(),
-                        ));
-                        ids.push(g as u32);
-                        g
-                    }
-                };
-            let mut scratch_filled = false;
-            for (k, ai) in agg_inputs.iter().enumerate() {
-                let v = match ai {
-                    AggInput::Col(c) => in_b.column(*c).value(phys as usize),
-                    AggInput::Expr(e) => {
-                        if !scratch_filled {
-                            in_b.write_row(phys, &mut scratch);
-                            scratch_filled = true;
-                        }
-                        e.eval(&scratch, &input.schema)
-                    }
-                };
-                groups[gid].1[k].add(&v);
-            }
+            let gid = match ids
+                .iter()
+                .copied()
+                .find(|&g| in_b.keys_eq(reps[g as usize], &key_cols, &in_b, phys, &key_cols))
+            {
+                Some(g) => g,
+                None => {
+                    let g = reps.len() as u32;
+                    reps.push(phys);
+                    ids.push(g);
+                    g
+                }
+            };
+            gids.push(gid);
         }
-        // Output rows: group key columns followed by aggregate values,
-        // sorted — matching the row executor's deterministic order.
-        let mut out_rows: Vec<Tuple> = groups
+        let ngroups = reps.len();
+        // Pass 2: one typed kernel per aggregate.
+        let agg_columns: Vec<Column> = aggs
             .iter()
-            .map(|(rep, accs)| {
-                let mut row: Tuple = key_cols
-                    .iter()
-                    .map(|&c| in_b.column(c).value(*rep as usize))
-                    .collect();
-                row.extend(accs.iter().map(Accumulator::finish));
-                row
-            })
+            .map(|spec| agg_kernel(&in_b, &input.schema, spec, &gids, ngroups))
             .collect();
-        out_rows.sort();
-        Batch::from_rows(plan.schema.clone(), &out_rows)
+        // Deterministic output order: groups sorted by key (keys are unique
+        // per group, so this matches the old full-row sort).
+        let mut order: Vec<u32> = (0..ngroups as u32).collect();
+        order.sort_by(|&a, &b| {
+            in_b.cmp_keys(
+                reps[a as usize],
+                &key_cols,
+                &in_b,
+                reps[b as usize],
+                &key_cols,
+            )
+        });
+        let rep_order: Vec<u32> = order.iter().map(|&g| reps[g as usize]).collect();
+        let nkeys = key_cols.len();
+        debug_assert_eq!(plan.schema.len(), nkeys + aggs.len());
+        let columns: Vec<Column> = key_cols
+            .iter()
+            .map(|&c| in_b.column(c).gather(&rep_order))
+            .chain(agg_columns.iter().map(|c| c.gather(&order)))
+            .collect();
+        Batch::from_columns(plan.schema.clone(), columns)
     }
 
     fn eval_distinct(&self, plan: &PhysPlan, input: &PhysPlan, meter: &mut Meter) -> Batch {
         let in_b = self.eval(input, meter);
         meter.charge_cpu(self.model, in_b.num_rows());
         let all_cols: Vec<usize> = (0..in_b.schema().len()).collect();
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut buckets: U64Map<Vec<u32>> = u64_map_with_capacity(in_b.num_rows().min(1 << 16));
         let mut reps: Vec<u32> = Vec::new();
         for i in 0..in_b.num_rows() {
             let phys = in_b.physical(i);
@@ -1187,18 +1379,281 @@ impl EvalCtx<'_> {
                 reps.push(phys);
             }
         }
-        // Sorted output, as the support-counting distinct produced.
-        let mut out_rows: Vec<Tuple> = reps
-            .iter()
-            .map(|&r| {
-                let mut row = Vec::with_capacity(in_b.schema().len());
-                in_b.write_row(r, &mut row);
-                row
-            })
+        // Sorted output, as the support-counting distinct produced —
+        // realized as a position sort + column gather, not a row sort.
+        reps.sort_by(|&a, &b| in_b.cmp_keys(a, &all_cols, &in_b, b, &all_cols));
+        let columns: Vec<Column> = (0..in_b.schema().len())
+            .map(|c| in_b.column(c).gather(&reps))
             .collect();
-        out_rows.sort();
-        Batch::from_rows(plan.schema.clone(), &out_rows)
+        Batch::from_columns(plan.schema.clone(), columns)
     }
+}
+
+/// One aggregate's columnar update kernel: walk the input column once,
+/// updating typed per-group state vectors, and emit the result column.
+/// Falls back to per-group [`Accumulator`]s for `Mixed` columns, general
+/// expressions, and type/function combinations with value-level semantics
+/// (e.g. SUM over strings), so results are bit-identical to the row path.
+fn agg_kernel(
+    in_b: &Batch,
+    schema: &Schema,
+    spec: &AggSpec,
+    gids: &[u32],
+    ngroups: usize,
+) -> Column {
+    use mvmqo_relalg::agg::AggFunc;
+    let col_pos = match &spec.input {
+        ScalarExpr::Col(id) => schema.position_of(*id),
+        _ => None,
+    };
+    let Some(pos) = col_pos else {
+        return agg_fallback(in_b, schema, spec, gids, ngroups);
+    };
+    let col = in_b.column(pos);
+    match (spec.func, col.data()) {
+        (AggFunc::Count, _) => {
+            // COUNT is nullness-only: typed for every physical layout.
+            let mut counts = vec![0i64; ngroups];
+            for (i, &g) in gids.iter().enumerate() {
+                let phys = in_b.physical(i) as usize;
+                if !col.is_null(phys) {
+                    counts[g as usize] += 1;
+                }
+            }
+            let mut out = Column::with_capacity(DataType::Int, ngroups);
+            for c in counts {
+                out.push(&Value::Int(c));
+            }
+            out
+        }
+        (
+            AggFunc::Sum | AggFunc::Avg,
+            ColumnData::Int(_) | ColumnData::Float(_) | ColumnData::Date(_),
+        ) => {
+            // Accumulate in f64 exactly as `Accumulator` does (so Int sums
+            // agree bit-for-bit, including the > 2^53 regime).
+            let mut sums = vec![0f64; ngroups];
+            let mut counts = vec![0i64; ngroups];
+            match col.data() {
+                ColumnData::Int(v) => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        let phys = in_b.physical(i) as usize;
+                        if !col.is_null(phys) {
+                            sums[g as usize] += v[phys] as f64;
+                            counts[g as usize] += 1;
+                        }
+                    }
+                }
+                ColumnData::Float(v) => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        let phys = in_b.physical(i) as usize;
+                        if !col.is_null(phys) {
+                            sums[g as usize] += v[phys];
+                            counts[g as usize] += 1;
+                        }
+                    }
+                }
+                ColumnData::Date(v) => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        let phys = in_b.physical(i) as usize;
+                        if !col.is_null(phys) {
+                            sums[g as usize] += v[phys] as f64;
+                            counts[g as usize] += 1;
+                        }
+                    }
+                }
+                _ => unreachable!("guarded by the match arm"),
+            }
+            let avg = spec.func == AggFunc::Avg;
+            let int_sum = !avg && matches!(col.data(), ColumnData::Int(_));
+            let dt = if int_sum {
+                DataType::Int
+            } else {
+                DataType::Float
+            };
+            let mut out = Column::with_capacity(dt, ngroups);
+            for g in 0..ngroups {
+                let v = if counts[g] == 0 {
+                    Value::Null
+                } else if avg {
+                    Value::Float(sums[g] / counts[g] as f64)
+                } else if int_sum {
+                    Value::Int(sums[g] as i64)
+                } else {
+                    Value::Float(sums[g])
+                };
+                out.push(&v);
+            }
+            out
+        }
+        (AggFunc::Min | AggFunc::Max, ColumnData::Int(_)) => min_max_prim::<i64>(
+            in_b,
+            col,
+            gids,
+            ngroups,
+            spec.func == AggFunc::Min,
+            |d, p| match d {
+                ColumnData::Int(v) => v[p],
+                _ => unreachable!(),
+            },
+            |a, b| a < b,
+            DataType::Int,
+            Value::Int,
+        ),
+        (AggFunc::Min | AggFunc::Max, ColumnData::Date(_)) => min_max_prim::<i32>(
+            in_b,
+            col,
+            gids,
+            ngroups,
+            spec.func == AggFunc::Min,
+            |d, p| match d {
+                ColumnData::Date(v) => v[p],
+                _ => unreachable!(),
+            },
+            |a, b| a < b,
+            DataType::Date,
+            Value::Date,
+        ),
+        (AggFunc::Min | AggFunc::Max, ColumnData::Bool(_)) => min_max_prim::<bool>(
+            in_b,
+            col,
+            gids,
+            ngroups,
+            spec.func == AggFunc::Min,
+            |d, p| match d {
+                ColumnData::Bool(v) => v[p],
+                _ => unreachable!(),
+            },
+            |a, b| !a & b,
+            DataType::Bool,
+            Value::Bool,
+        ),
+        (AggFunc::Min | AggFunc::Max, ColumnData::Float(_)) => min_max_prim::<f64>(
+            in_b,
+            col,
+            gids,
+            ngroups,
+            spec.func == AggFunc::Min,
+            |d, p| match d {
+                ColumnData::Float(v) => v[p],
+                _ => unreachable!(),
+            },
+            |a, b| a.total_cmp(&b) == std::cmp::Ordering::Less,
+            DataType::Float,
+            Value::Float,
+        ),
+        (AggFunc::Min | AggFunc::Max, ColumnData::Str(_)) => {
+            let is_min = spec.func == AggFunc::Min;
+            let mut best: Vec<Option<std::sync::Arc<str>>> = vec![None; ngroups];
+            let ColumnData::Str(v) = col.data() else {
+                unreachable!()
+            };
+            for (i, &g) in gids.iter().enumerate() {
+                let phys = in_b.physical(i) as usize;
+                if col.is_null(phys) {
+                    continue;
+                }
+                let slot = &mut best[g as usize];
+                let better = match slot {
+                    None => true,
+                    Some(b) => {
+                        if is_min {
+                            v[phys] < *b
+                        } else {
+                            v[phys] > *b
+                        }
+                    }
+                };
+                if better {
+                    *slot = Some(v[phys].clone());
+                }
+            }
+            let mut out = Column::with_capacity(DataType::Str, ngroups);
+            for b in best {
+                out.push(&b.map_or(Value::Null, Value::Str));
+            }
+            out
+        }
+        _ => agg_fallback(in_b, schema, spec, gids, ngroups),
+    }
+}
+
+/// Shared typed MIN/MAX loop over a primitive payload.
+#[allow(clippy::too_many_arguments)]
+fn min_max_prim<T: Copy + Default>(
+    in_b: &Batch,
+    col: &Column,
+    gids: &[u32],
+    ngroups: usize,
+    is_min: bool,
+    get: impl Fn(&ColumnData, usize) -> T,
+    less: impl Fn(T, T) -> bool,
+    dt: DataType,
+    wrap: impl Fn(T) -> Value,
+) -> Column {
+    let mut best = vec![T::default(); ngroups];
+    let mut has = vec![false; ngroups];
+    for (i, &g) in gids.iter().enumerate() {
+        let phys = in_b.physical(i) as usize;
+        if col.is_null(phys) {
+            continue;
+        }
+        let g = g as usize;
+        let x = get(col.data(), phys);
+        // Strict improvement only, as `Accumulator` replaces on `v < m`.
+        let better = !has[g]
+            || if is_min {
+                less(x, best[g])
+            } else {
+                less(best[g], x)
+            };
+        if better {
+            best[g] = x;
+            has[g] = true;
+        }
+    }
+    let mut out = Column::with_capacity(dt, ngroups);
+    for g in 0..ngroups {
+        out.push(&if has[g] { wrap(best[g]) } else { Value::Null });
+    }
+    out
+}
+
+/// Per-group [`Accumulator`] fallback for aggregate inputs outside the
+/// typed kernels (general expressions, `Mixed` columns, value-level
+/// type-promotion cases).
+fn agg_fallback(
+    in_b: &Batch,
+    schema: &Schema,
+    spec: &AggSpec,
+    gids: &[u32],
+    ngroups: usize,
+) -> Column {
+    let col_pos = match &spec.input {
+        ScalarExpr::Col(id) => schema.position_of(*id),
+        _ => None,
+    };
+    let mut accs: Vec<Accumulator> = (0..ngroups).map(|_| Accumulator::new(spec.func)).collect();
+    let mut scratch = Vec::new();
+    for (i, &g) in gids.iter().enumerate() {
+        let phys = in_b.physical(i);
+        let v = match col_pos {
+            Some(c) => in_b.column(c).value(phys as usize),
+            None => {
+                in_b.write_row(phys, &mut scratch);
+                spec.input.eval(&scratch, schema)
+            }
+        };
+        accs[g as usize].add(&v);
+    }
+    let dt = col_pos
+        .map(|c| spec.func.result_type(schema.attrs()[c].data_type))
+        .unwrap_or(DataType::Float);
+    let mut out = Column::with_capacity(dt, ngroups);
+    for acc in &accs {
+        out.push(&acc.finish());
+    }
+    out
 }
 
 /// Fill `buf` with the concatenation of one physical row from each batch

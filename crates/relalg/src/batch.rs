@@ -14,11 +14,11 @@
 //! with the row-at-a-time reference executor.
 
 use crate::expr::{CmpOp, Predicate, ScalarExpr};
+use crate::hash::{u64_map_with_capacity, U64Map};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::types::{DataType, Value};
 use std::cmp::Ordering;
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -67,6 +67,30 @@ impl ColumnData {
             ColumnData::Date(v) => v.len(),
             ColumnData::Bool(v) => v.len(),
             ColumnData::Mixed(v) => v.len(),
+        }
+    }
+
+    /// Consume the payload into owned [`Value`]s. Only the `Str` and
+    /// `Mixed` arms gain anything from consuming (their `Arc<str>`s /
+    /// values move out instead of cloning); the primitive payloads are
+    /// `Copy`, so they share [`ColumnData::to_mixed`]'s conversion.
+    fn into_values(self, nulls: Option<Vec<bool>>) -> Vec<Value> {
+        match self {
+            ColumnData::Str(v) => {
+                let null_at = |i: usize| nulls.as_ref().is_some_and(|n| n[i]);
+                v.into_iter()
+                    .enumerate()
+                    .map(|(i, x)| {
+                        if null_at(i) {
+                            Value::Null
+                        } else {
+                            Value::Str(x)
+                        }
+                    })
+                    .collect()
+            }
+            ColumnData::Mixed(v) => v,
+            other => other.to_mixed(nulls.as_deref()),
         }
     }
 
@@ -120,6 +144,24 @@ impl Column {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The physical payload (typed vectors), for columnar kernels that want
+    /// direct vector access instead of per-position [`Column::value`] calls.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null mask, if any position is NULL (`true` = NULL). `Mixed`
+    /// columns carry NULLs inline and report `None` here.
+    pub fn null_mask(&self) -> Option<&[bool]> {
+        self.nulls.as_deref()
+    }
+
+    /// Consume the column into owned values (moves `Arc<str>`s out rather
+    /// than cloning them).
+    pub fn into_values(self) -> Vec<Value> {
+        self.data.into_values(self.nulls)
     }
 
     pub fn is_null(&self, i: usize) -> bool {
@@ -471,9 +513,36 @@ impl Batch {
         out
     }
 
-    /// Materialize, consuming the batch.
+    /// Materialize one logical row as a tuple (columnar point read; avoids
+    /// building the full row view to sample a handful of rows).
+    pub fn tuple_at(&self, i: usize) -> Tuple {
+        self.tuple_at_physical(self.physical(i))
+    }
+
+    /// Materialize the row at a *physical* position (point read by a
+    /// position returned from e.g. [`Batch::counts`] or an index probe).
+    pub fn tuple_at_physical(&self, phys: u32) -> Tuple {
+        let p = phys as usize;
+        self.columns.iter().map(|c| c.value(p)).collect()
+    }
+
+    /// Materialize, consuming the batch. Unlike [`Batch::to_rows`], dense
+    /// uniquely-owned columns are *drained*: values (including `Arc<str>`s
+    /// and `Mixed` payloads) move out instead of being cloned per cell.
+    /// Shared or selection-bearing batches fall back to the copying path.
     pub fn into_rows(self) -> Vec<Tuple> {
-        self.to_rows()
+        if self.sel.is_some() {
+            return self.to_rows();
+        }
+        let width = self.columns.len();
+        let mut rows: Vec<Tuple> = (0..self.rows).map(|_| Vec::with_capacity(width)).collect();
+        for col in self.columns {
+            let col = Arc::try_unwrap(col).unwrap_or_else(|shared| (*shared).clone());
+            for (row, v) in rows.iter_mut().zip(col.into_values()) {
+                row.push(v);
+            }
+        }
+        rows
     }
 
     /// Reorder/subset columns to `positions` (zero-copy: column handles
@@ -512,22 +581,10 @@ impl Batch {
     }
 
     /// Compact the selection away, gathering into dense columns.
-    pub fn compact(self) -> Batch {
-        match &self.sel {
+    pub fn compact(mut self) -> Batch {
+        match self.sel.take() {
             None => self,
-            Some(sel) => {
-                let columns = self
-                    .columns
-                    .iter()
-                    .map(|c| Arc::new(c.gather(sel)))
-                    .collect();
-                Batch {
-                    schema: self.schema,
-                    rows: sel.len(),
-                    columns,
-                    sel: None,
-                }
-            }
+            Some(sel) => self.gather_physical(&sel),
         }
     }
 
@@ -544,6 +601,141 @@ impl Batch {
             Arc::make_mut(mine).append_gather(theirs, &idx);
         }
         self.rows += idx.len();
+    }
+
+    /// Append row-major tuples (storage delta application). Like
+    /// [`Batch::append`], any selection is compacted first so the appended
+    /// values land densely.
+    pub fn append_rows(&mut self, rows: &[Tuple]) {
+        if rows.is_empty() {
+            return;
+        }
+        if self.sel.is_some() {
+            let compacted = std::mem::replace(self, Batch::empty(Schema::default())).compact();
+            *self = compacted;
+        }
+        for row in rows {
+            debug_assert_eq!(row.len(), self.columns.len());
+            for (col, v) in self.columns.iter_mut().zip(row) {
+                Arc::make_mut(col).push(v);
+            }
+        }
+        self.rows += rows.len();
+    }
+
+    /// Logical positions of `self` surviving the multiset difference
+    /// `self ∸ other` (one occurrence removed per matching `other` row).
+    /// Keys are hashed and compared *by column position* — neither side is
+    /// materialized as rows. `other` must share this batch's attribute ids.
+    pub fn minus_positions(&self, other: &Batch) -> Vec<u32> {
+        debug_assert_eq!(self.schema.ids(), other.schema.ids());
+        let cols: Vec<usize> = (0..self.schema.len()).collect();
+        if other.num_rows() == 0 {
+            return self.positions();
+        }
+        // Bucket on the cheap-to-hash columns only (string hashing
+        // dominates wide rows); this hash is internal to the operation, so
+        // any consistent choice is correct — candidates are confirmed by
+        // comparing *all* columns. Fall back to every column when the
+        // schema is all-strings.
+        let hash_cols: Vec<usize> = {
+            let non_str: Vec<usize> = self
+                .schema
+                .attrs()
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.data_type != crate::types::DataType::Str)
+                .map(|(i, _)| i)
+                .collect();
+            if non_str.is_empty() {
+                cols.clone()
+            } else {
+                non_str
+            }
+        };
+        // Remaining-removal counts per distinct `other` row, keyed by hash
+        // with collision buckets of (representative position, count).
+        let mut remove: U64Map<Vec<(u32, i64)>> = u64_map_with_capacity(other.num_rows());
+        for i in 0..other.num_rows() {
+            let phys = other.physical(i);
+            let h = other.hash_keys(phys, &hash_cols);
+            let bucket = remove.entry(h).or_default();
+            match bucket
+                .iter_mut()
+                .find(|(rep, _)| other.keys_eq(*rep, &cols, other, phys, &cols))
+            {
+                Some((_, c)) => *c += 1,
+                None => bucket.push((phys, 1)),
+            }
+        }
+        let mut keep = Vec::with_capacity(self.num_rows().saturating_sub(other.num_rows()));
+        for i in 0..self.num_rows() {
+            let phys = self.physical(i);
+            let h = self.hash_keys(phys, &hash_cols);
+            let removed = remove.get_mut(&h).is_some_and(|bucket| {
+                bucket
+                    .iter_mut()
+                    .find(|(rep, c)| *c > 0 && other.keys_eq(*rep, &cols, self, phys, &cols))
+                    .map(|(_, c)| *c -= 1)
+                    .is_some()
+            });
+            if !removed {
+                keep.push(phys);
+            }
+        }
+        keep
+    }
+
+    /// Columnar multiset difference `self ∸ other` (monus): the surviving
+    /// rows, gathered into a dense batch. The columnar counterpart of
+    /// [`crate::tuple::bag_minus`].
+    pub fn minus(&self, other: &Batch) -> Batch {
+        let keep = self.minus_positions(other);
+        self.gather_physical(&keep)
+    }
+
+    /// Dense batch holding the rows at the given *physical* positions, in
+    /// order (one typed gather per column). Pairs with
+    /// [`Batch::minus_positions`] so callers that also need the surviving
+    /// position list (index remapping) hash the table once, not twice.
+    pub fn gather_physical(&self, positions: &[u32]) -> Batch {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.gather(positions)))
+            .collect();
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            rows: positions.len(),
+            sel: None,
+        }
+    }
+
+    /// Distinct rows with multiplicities, as (representative physical
+    /// position, count) pairs — the columnar counterpart of
+    /// [`crate::tuple::bag_counts`], hashing borrowed column keys.
+    pub fn counts(&self) -> Vec<(u32, i64)> {
+        let cols: Vec<usize> = (0..self.schema.len()).collect();
+        let mut buckets: U64Map<Vec<usize>> = u64_map_with_capacity(self.num_rows());
+        let mut out: Vec<(u32, i64)> = Vec::new();
+        for i in 0..self.num_rows() {
+            let phys = self.physical(i);
+            let h = self.hash_keys(phys, &cols);
+            let ids = buckets.entry(h).or_default();
+            match ids
+                .iter()
+                .copied()
+                .find(|&g| self.keys_eq(out[g].0, &cols, self, phys, &cols))
+            {
+                Some(g) => out[g].1 += 1,
+                None => {
+                    ids.push(out.len());
+                    out.push((phys, 1));
+                }
+            }
+        }
+        out
     }
 
     /// Join-output constructor: for each `(l, r)` *physical* pair, the
@@ -587,9 +779,12 @@ impl Batch {
     }
 
     /// Hash the key columns of physical row `phys` ([`Value::hash`]
-    /// semantics, so cross-typed equal keys collide as required).
+    /// semantics, so cross-typed equal keys collide as required). Folded
+    /// with the internal fast hasher — every consumer pairs this with a
+    /// column-wise equality check, so only within-operation consistency is
+    /// required (see [`crate::hash`]).
     pub fn hash_keys(&self, phys: u32, cols: &[usize]) -> u64 {
-        let mut h = DefaultHasher::new();
+        let mut h = crate::hash::FxHasher::default();
         for &c in cols {
             self.columns[c].hash_value(phys as usize, &mut h);
         }
@@ -917,6 +1112,102 @@ mod tests {
         let mut scratch = Vec::new();
         assert!(!compiled.matches_at(&b, 0, &mut scratch));
         assert!(!pred.matches(&[Value::Int(1)], &s));
+    }
+
+    #[test]
+    fn into_rows_moves_dense_columns() {
+        let s = schema(&[(0, DataType::Str), (1, DataType::Int)]);
+        let rows = vec![
+            vec![Value::str("a"), Value::Int(1)],
+            vec![Value::Null, Value::Null],
+            vec![Value::str("c"), Value::Int(3)],
+        ];
+        let b = Batch::from_rows(s.clone(), &rows);
+        assert_eq!(b.into_rows(), rows);
+        // A selection falls back to the gathering path.
+        let mut b = Batch::from_rows(s, &rows);
+        b.retain(|p| p != 1);
+        assert_eq!(b.into_rows(), vec![rows[0].clone(), rows[2].clone()]);
+    }
+
+    #[test]
+    fn minus_matches_row_bag_minus() {
+        let s = schema(&[(0, DataType::Int), (1, DataType::Int)]);
+        let a_rows = vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Null, Value::Int(2)],
+            vec![Value::Int(3), Value::Null],
+        ];
+        let b_rows = vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Null, Value::Int(2)],
+            vec![Value::Int(9), Value::Int(9)],
+        ];
+        let a = Batch::from_rows(s.clone(), &a_rows);
+        let b = Batch::from_rows(s, &b_rows);
+        let got = a.minus(&b).to_rows();
+        let expected = crate::tuple::bag_minus(&a_rows, &b_rows);
+        assert!(
+            crate::tuple::bag_eq(&got, &expected),
+            "{got:?} vs {expected:?}"
+        );
+    }
+
+    #[test]
+    fn counts_match_row_bag_counts() {
+        let s = schema(&[(0, DataType::Int)]);
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(1)],
+            vec![Value::Null],
+            vec![Value::Int(2)],
+            vec![Value::Null],
+        ];
+        let b = Batch::from_rows(s, &rows);
+        let got: Vec<(Tuple, i64)> = b
+            .counts()
+            .into_iter()
+            .map(|(p, c)| {
+                (
+                    (0..b.schema().len())
+                        .map(|k| b.column(k).value(p as usize))
+                        .collect(),
+                    c,
+                )
+            })
+            .collect();
+        let expected = crate::tuple::bag_counts(&rows);
+        assert_eq!(got.len(), expected.len());
+        for (row, c) in &got {
+            assert_eq!(expected.get(row.as_slice()), Some(c), "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn append_rows_extends_and_compacts() {
+        let s = schema(&[(0, DataType::Int)]);
+        let mut b = Batch::from_rows(s, &int_rows(&[&[1], &[2], &[3]]));
+        b.retain(|p| p != 1);
+        b.append_rows(&[vec![Value::Int(9)], vec![Value::Null]]);
+        assert_eq!(
+            b.to_rows(),
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(3)],
+                vec![Value::Int(9)],
+                vec![Value::Null]
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_at_respects_selection() {
+        let s = schema(&[(0, DataType::Int)]);
+        let mut b = Batch::from_rows(s, &int_rows(&[&[10], &[20], &[30]]));
+        assert_eq!(b.tuple_at(2), vec![Value::Int(30)]);
+        b.retain(|p| p != 0);
+        assert_eq!(b.tuple_at(0), vec![Value::Int(20)]);
     }
 
     #[test]

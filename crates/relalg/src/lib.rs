@@ -25,6 +25,7 @@ pub mod agg;
 pub mod batch;
 pub mod catalog;
 pub mod expr;
+pub mod hash;
 pub mod logical;
 pub mod schema;
 pub mod stats;

@@ -6,6 +6,17 @@
 //! single source of truth for translating row counts and widths into block
 //! counts, shared by the optimizer's cost model and the executor's simulated
 //! I/O meter.
+//!
+//! The accounting is deliberately **layout-agnostic**: `n` tuples of width
+//! `w` occupy `⌈n·w/block⌉` blocks whether the bytes are stored row-major
+//! or — as the batch-native [`crate::table::StoredTable`] actually keeps
+//! them — column-major. §7.1 works from catalog-level row widths, not
+//! physical payloads, so the columnar storage layout changes constant
+//! factors the model never captured (cache behaviour, conversion costs)
+//! while every modelled quantity (block counts, buffer-fit switch points)
+//! is identical under both layouts. That is what keeps the optimizer's
+//! estimates and the executor's simulated I/O meter comparable after the
+//! columnar refactor without touching a single cost formula.
 
 /// Block/buffer configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -7,6 +7,7 @@
 //! for equality lookups and B-tree indices for ordered access; both map a
 //! single key attribute to row positions in the owning table.
 
+use mvmqo_relalg::batch::Column;
 use mvmqo_relalg::schema::AttrId;
 use mvmqo_relalg::tuple::Tuple;
 use mvmqo_relalg::types::Value;
@@ -55,6 +56,40 @@ impl Index {
             idx.insert(&row[key_pos], i as u32);
         }
         idx
+    }
+
+    /// Build an index over one column of a columnar table image (the
+    /// batch-native counterpart of [`Index::build`]).
+    pub fn build_from_column(attr: AttrId, kind: IndexKind, col: &Column) -> Self {
+        let mut idx = Index {
+            attr,
+            kind,
+            hash: HashMap::new(),
+            tree: BTreeMap::new(),
+        };
+        for i in 0..col.len() {
+            idx.insert(&col.value(i), i as u32);
+        }
+        idx
+    }
+
+    /// Rewrite every stored position through `map` (old physical position →
+    /// new, with `u32::MAX` marking a removed row). This is how an index
+    /// follows a columnar delete compaction without re-hashing any key:
+    /// O(entries) pointer updates instead of an O(table) rebuild.
+    pub(crate) fn remap_positions(&mut self, map: &[u32]) {
+        fn remap_list(ps: &mut Vec<u32>, map: &[u32]) -> bool {
+            ps.retain_mut(|p| {
+                let new = map[*p as usize];
+                *p = new;
+                new != u32::MAX
+            });
+            !ps.is_empty()
+        }
+        match self.kind {
+            IndexKind::Hash => self.hash.retain(|_, ps| remap_list(ps, map)),
+            IndexKind::BTree => self.tree.retain(|_, ps| remap_list(ps, map)),
+        }
     }
 
     pub(crate) fn insert(&mut self, key: &Value, pos: u32) {

@@ -1,50 +1,82 @@
 //! Stored multiset relations.
 //!
-//! A [`StoredTable`] is an in-memory multiset of tuples plus any secondary
+//! A [`StoredTable`] is an in-memory multiset relation plus any secondary
 //! indices built over it. Base relations, permanently materialized views,
 //! and temporarily materialized intermediate results are all stored this
 //! way — the paper's framework deliberately treats them uniformly (a
 //! materialized result is just another relation the optimizer may scan or
 //! probe).
+//!
+//! Storage is **batch-native**: the primary representation is the columnar
+//! [`Batch`] the vectorized executor consumes, and deltas mutate the
+//! columns *in place* (appends extend the typed vectors; deletes compact
+//! them through one gather and remap index positions). The row-major view
+//! is derived lazily and only exists for user-facing output and the
+//! row-at-a-time reference paths — the maintenance hot path never
+//! round-trips through `Vec<Tuple>`.
 
 use crate::blocks::BlockConfig;
 use crate::delta::DeltaBatch;
 use crate::index::{Index, IndexKind};
 use mvmqo_relalg::batch::Batch;
 use mvmqo_relalg::schema::{AttrId, Schema};
-use mvmqo_relalg::tuple::{bag_minus, Tuple};
+use mvmqo_relalg::tuple::Tuple;
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::OnceLock;
 
 /// An in-memory multiset relation with optional secondary indices.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StoredTable {
     schema: Schema,
-    rows: Vec<Tuple>,
+    /// Primary columnar image (always dense: no selection vector). Columns
+    /// are `Arc`-shared with scans, so handing the image to the executor is
+    /// O(width); mutation copy-on-writes only the touched columns.
+    batch: Batch,
+    /// Lazily derived row-major view for user-facing output and legacy
+    /// row consumers; invalidated by every mutation.
+    rows: OnceLock<Vec<Tuple>>,
     indices: HashMap<AttrId, Index>,
-    /// Lazily built columnar image served to the vectorized executor;
-    /// invalidated by every row mutation. Shared (`Arc`) so repeated scans
-    /// of an unchanged relation are O(width), not O(cells).
-    batch: OnceLock<Arc<Batch>>,
+}
+
+impl Default for StoredTable {
+    fn default() -> Self {
+        StoredTable::new(Schema::default())
+    }
 }
 
 impl StoredTable {
     pub fn new(schema: Schema) -> Self {
         StoredTable {
+            batch: Batch::empty(schema.clone()),
             schema,
-            rows: Vec::new(),
+            rows: OnceLock::new(),
             indices: HashMap::new(),
-            batch: OnceLock::new(),
         }
     }
 
     pub fn with_rows(schema: Schema, rows: Vec<Tuple>) -> Self {
         debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
+        let batch = Batch::from_rows(schema.clone(), &rows);
+        let cache = OnceLock::new();
+        let _ = cache.set(rows);
         StoredTable {
+            batch,
             schema,
-            rows,
+            rows: cache,
             indices: HashMap::new(),
-            batch: OnceLock::new(),
+        }
+    }
+
+    /// Adopt an already-columnar result (the executor's install path — no
+    /// row materialization). Any selection is compacted away so the stored
+    /// image is dense.
+    pub fn from_batch(batch: Batch) -> Self {
+        let batch = batch.compact();
+        StoredTable {
+            schema: batch.schema().clone(),
+            batch,
+            rows: OnceLock::new(),
+            indices: HashMap::new(),
         }
     }
 
@@ -52,66 +84,122 @@ impl StoredTable {
         &self.schema
     }
 
+    /// Row-major view, derived from the columnar image on first use. This
+    /// is the *user-facing/reference* accessor; maintenance code paths
+    /// should stay on [`StoredTable::batch`].
     pub fn rows(&self) -> &[Tuple] {
-        &self.rows
+        self.rows.get_or_init(|| self.batch.to_rows())
     }
 
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.batch.num_rows()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     /// Replace the full contents (recomputation path of view refresh).
     pub fn replace_rows(&mut self, rows: Vec<Tuple>) {
-        self.rows = rows;
-        self.batch.take();
+        self.batch = Batch::from_rows(self.schema.clone(), &rows);
+        self.rows = OnceLock::new();
+        let _ = self.rows.set(rows);
+        self.rebuild_indices();
+    }
+
+    /// Replace the full contents with a columnar result.
+    pub fn replace_batch(&mut self, batch: Batch) {
+        debug_assert_eq!(batch.schema().ids(), self.schema.ids());
+        self.batch = batch.compact();
+        self.rows = OnceLock::new();
         self.rebuild_indices();
     }
 
     /// Apply a delta batch: append inserts, remove one occurrence per delete
-    /// (multiset semantics), then refresh indices.
+    /// (multiset semantics), keeping indices in sync.
     ///
-    /// Insert-only batches take an incremental path: existing row
-    /// positions are unchanged, so indices absorb just the appended rows —
-    /// O(batch) instead of O(table). The §5.2 epoch numbering applies δ⁺
-    /// and δ⁻ as separate steps, so half of every refresh cycle's base and
-    /// view mutations hit this path. Deletes shift positions (`bag_minus`
-    /// compacts), so delete-bearing batches still rebuild.
+    /// Both sides are columnar-incremental. Inserts extend the typed column
+    /// vectors and absorb into indices at their appended positions —
+    /// O(batch). Deletes hash the stored rows against the (small) delete
+    /// multiset by borrowed column keys, gather the surviving positions
+    /// into dense columns in one pass, and *remap* index positions through
+    /// the compaction (O(entries), no re-hash) — the table is never
+    /// materialized as rows on either path.
     pub fn apply_delta(&mut self, delta: &DeltaBatch) {
         if delta.inserts.is_empty() && delta.deletes.is_empty() {
-            return; // nothing changed: keep the cached columnar image
+            return; // nothing changed: keep the columnar image as-is
         }
-        if delta.deletes.is_empty() {
-            let start = self.rows.len();
-            self.rows.extend(delta.inserts.iter().cloned());
-            self.batch.take();
+        if !delta.deletes.is_empty() {
+            let deletes = Batch::from_rows(self.schema.clone(), &delta.deletes);
+            self.delete_batch(&deletes);
+        }
+        if !delta.inserts.is_empty() {
+            let start = self.batch.num_rows();
+            self.batch.append_rows(&delta.inserts);
             let attrs: Vec<AttrId> = self.indices.keys().copied().collect();
             for attr in attrs {
                 let pos = self.schema.position_of(attr).expect("index attr in schema");
                 let idx = self.indices.get_mut(&attr).expect("listed index");
-                for (k, row) in self.rows[start..].iter().enumerate() {
+                for (k, row) in delta.inserts.iter().enumerate() {
                     idx.insert(&row[pos], (start + k) as u32);
                 }
             }
-            return;
         }
-        self.rows = bag_minus(&self.rows, &delta.deletes);
-        self.rows.extend(delta.inserts.iter().cloned());
-        self.batch.take();
-        self.rebuild_indices();
+        self.rows = OnceLock::new();
     }
 
-    /// Columnar image of the relation (struct-of-arrays column extraction
-    /// for the vectorized executor). Built on first use, then served from
-    /// a shared cache until the next row mutation.
-    pub fn to_batch(&self) -> Arc<Batch> {
-        Arc::clone(
-            self.batch
-                .get_or_init(|| Arc::new(Batch::from_rows(self.schema.clone(), &self.rows))),
-        )
+    /// Columnar-side delta application: the maintained-result merge path.
+    /// `inserts`/`deletes` stay columnar end-to-end (no tuple bridges);
+    /// both must already be aligned to the table's schema layout.
+    pub fn apply_batch_delta(&mut self, inserts: Option<&Batch>, deletes: Option<&Batch>) {
+        if let Some(deletes) = deletes.filter(|d| d.num_rows() > 0) {
+            if self.delete_batch(deletes) {
+                self.rows = OnceLock::new();
+            }
+        }
+        if let Some(inserts) = inserts.filter(|i| i.num_rows() > 0) {
+            debug_assert_eq!(inserts.schema().ids(), self.schema.ids());
+            let start = self.batch.num_rows();
+            self.batch.append(inserts);
+            for idx in self.indices.values_mut() {
+                let pos = self
+                    .schema
+                    .position_of(idx.attr)
+                    .expect("index attr in schema");
+                for i in 0..inserts.num_rows() {
+                    let phys = inserts.physical(i) as usize;
+                    idx.insert(&inserts.column(pos).value(phys), (start + i) as u32);
+                }
+            }
+            self.rows = OnceLock::new();
+        }
+    }
+
+    /// Shared delete kernel: one hash scan produces the surviving
+    /// positions, indices follow through a position remap, and the columns
+    /// are gathered once. Returns whether anything was removed.
+    fn delete_batch(&mut self, deletes: &Batch) -> bool {
+        debug_assert_eq!(deletes.schema().ids(), self.schema.ids());
+        let keep = self.batch.minus_positions(deletes);
+        if keep.len() == self.batch.num_rows() {
+            return false;
+        }
+        let mut map = vec![u32::MAX; self.batch.num_rows()];
+        for (new, &old) in keep.iter().enumerate() {
+            map[old as usize] = new as u32;
+        }
+        for idx in self.indices.values_mut() {
+            idx.remap_positions(&map);
+        }
+        self.batch = self.batch.gather_physical(&keep);
+        true
+    }
+
+    /// The columnar image of the relation — the primary representation,
+    /// served by shared reference (cloning the returned batch is O(width):
+    /// columns are `Arc`-shared, never copied).
+    pub fn batch(&self) -> &Batch {
+        &self.batch
     }
 
     /// Row positions matching `key` through the index on `attr`, if one
@@ -123,7 +211,7 @@ impl StoredTable {
         self.indices.get(&attr).map(|idx| idx.lookup_eq(key))
     }
 
-    /// Create (or replace) an index on `attr`.
+    /// Create (or replace) an index on `attr`, built from the column image.
     ///
     /// Panics if `attr` is not part of the schema — that is a planner bug.
     pub fn create_index(&mut self, attr: AttrId, kind: IndexKind) {
@@ -131,7 +219,7 @@ impl StoredTable {
             .schema
             .position_of(attr)
             .unwrap_or_else(|| panic!("cannot index {attr}: not in schema"));
-        let idx = Index::build(attr, kind, &self.rows, pos);
+        let idx = Index::build_from_column(attr, kind, self.batch.column(pos));
         self.indices.insert(attr, idx);
     }
 
@@ -147,9 +235,11 @@ impl StoredTable {
         self.indices.keys().copied()
     }
 
-    /// Fetch a row by position (index lookups return positions).
-    pub fn row(&self, pos: u32) -> &Tuple {
-        &self.rows[pos as usize]
+    /// Materialize the tuple at one position (index lookups return
+    /// positions). A columnar point read — sampling a handful of rows does
+    /// not force the full row-major view into existence.
+    pub fn tuple_at(&self, pos: u32) -> Tuple {
+        self.batch.tuple_at(pos as usize)
     }
 
     /// Estimated bytes per stored tuple (the schema's catalog-level width;
@@ -180,16 +270,19 @@ impl StoredTable {
     }
 
     fn rebuild_indices(&mut self) {
-        // Rebuilding keeps runtime structures simple; the *cost model*
-        // charges incremental index maintenance analytically (see
-        // mvmqo-core::cost), so this implementation choice does not leak
-        // into the experiments.
+        // Full-content replacement is the one path that still rebuilds
+        // wholesale; delta application remaps/extends indices in place. The
+        // *cost model* charges incremental index maintenance analytically
+        // (see mvmqo-core::cost), so this choice does not leak into the
+        // experiments.
         let attrs: Vec<(AttrId, IndexKind)> =
             self.indices.values().map(|i| (i.attr, i.kind)).collect();
         for (attr, kind) in attrs {
             let pos = self.schema.position_of(attr).expect("index attr in schema");
-            self.indices
-                .insert(attr, Index::build(attr, kind, &self.rows, pos));
+            self.indices.insert(
+                attr,
+                Index::build_from_column(attr, kind, self.batch.column(pos)),
+            );
         }
     }
 }
@@ -250,7 +343,7 @@ mod tests {
         assert_eq!(hits.len(), 2);
         // Positions must dereference to the right tuples.
         for &p in hits {
-            assert_eq!(tab.row(p)[0], Value::Int(2));
+            assert_eq!(tab.tuple_at(p)[0], Value::Int(2));
         }
     }
 
@@ -315,31 +408,58 @@ mod tests {
         assert_eq!(idx.entries(), tab.len());
         for k in [1i64, 2, 3] {
             for &p in idx.lookup_eq(&Value::Int(k)) {
-                assert_eq!(tab.row(p)[0], Value::Int(k));
+                assert_eq!(tab.tuple_at(p)[0], Value::Int(k));
             }
         }
         assert_eq!(idx.lookup_eq(&Value::Int(2)).len(), 1);
     }
 
     #[test]
-    fn to_batch_caches_until_mutation() {
+    fn batch_is_primary_and_follows_mutation() {
         let mut tab = StoredTable::with_rows(schema(), vec![t(1, 10), t(2, 20)]);
-        let b1 = tab.to_batch();
-        let b2 = tab.to_batch();
-        assert!(
-            std::sync::Arc::ptr_eq(&b1, &b2),
-            "unchanged table reuses its batch"
-        );
-        assert_eq!(b1.to_rows(), tab.rows());
+        assert_eq!(tab.batch().to_rows(), tab.rows());
         tab.apply_delta(&DeltaBatch::new(vec![t(3, 30)], vec![]));
-        let b3 = tab.to_batch();
-        assert!(
-            !std::sync::Arc::ptr_eq(&b1, &b3),
-            "mutation invalidates the cache"
-        );
-        assert_eq!(b3.num_rows(), 3);
+        assert_eq!(tab.batch().num_rows(), 3);
+        assert_eq!(tab.rows().len(), 3);
+        tab.apply_delta(&DeltaBatch::new(vec![], vec![t(1, 10)]));
+        assert_eq!(tab.batch().num_rows(), 2);
+        assert!(bag_eq(tab.rows(), &[t(2, 20), t(3, 30)]));
         tab.replace_rows(vec![t(9, 90)]);
-        assert_eq!(tab.to_batch().num_rows(), 1);
+        assert_eq!(tab.batch().num_rows(), 1);
+    }
+
+    #[test]
+    fn from_batch_adopts_columnar_result() {
+        let b = mvmqo_relalg::batch::Batch::from_rows(schema(), &[t(1, 10), t(2, 20)]);
+        let mut tab = StoredTable::from_batch(b);
+        assert_eq!(tab.len(), 2);
+        assert_eq!(tab.schema().len(), 2);
+        tab.create_index(AttrId(0), IndexKind::Hash);
+        assert_eq!(tab.probe(AttrId(0), &Value::Int(2)).unwrap(), &[1]);
+        assert_eq!(tab.rows(), &[t(1, 10), t(2, 20)]);
+    }
+
+    #[test]
+    fn apply_batch_delta_matches_row_delta() {
+        let rows = vec![t(1, 1), t(1, 1), t(2, 2), t(3, 3)];
+        let ins = vec![t(4, 4), t(1, 1)];
+        let del = vec![t(1, 1), t(3, 3), t(9, 9)];
+        let mut row_side = StoredTable::with_rows(schema(), rows.clone());
+        row_side.apply_delta(&DeltaBatch::new(ins.clone(), del.clone()));
+        let mut batch_side = StoredTable::with_rows(schema(), rows);
+        batch_side.create_index(AttrId(0), IndexKind::Hash);
+        let ins_b = mvmqo_relalg::batch::Batch::from_rows(schema(), &ins);
+        let del_b = mvmqo_relalg::batch::Batch::from_rows(schema(), &del);
+        batch_side.apply_batch_delta(Some(&ins_b), Some(&del_b));
+        assert!(bag_eq(row_side.rows(), batch_side.rows()));
+        // Index stayed consistent through remap + append.
+        let idx = batch_side.index_on(AttrId(0)).unwrap();
+        assert_eq!(idx.entries(), batch_side.len());
+        for k in [1i64, 2, 3, 4] {
+            for &p in idx.lookup_eq(&Value::Int(k)) {
+                assert_eq!(batch_side.tuple_at(p)[0], Value::Int(k));
+            }
+        }
     }
 
     #[test]

@@ -91,10 +91,11 @@ fn table_batch(
     let rows = stored.len();
     let ins_n = ((rows as f64) * percent / 100.0).round() as usize;
     let del_n = ((rows as f64) * percent / 200.0).round() as usize;
-    let next_key = stored
-        .rows()
-        .iter()
-        .map(|r| r[0].as_i64().unwrap_or(0))
+    // Columnar key scan: storage is batch-native, so walking column 0
+    // avoids materializing the whole table as rows every epoch.
+    let key_col = stored.batch().column(0);
+    let next_key = (0..key_col.len())
+        .map(|i| key_col.value(i).as_i64().unwrap_or(0))
         .max()
         .map(|m| m + 1)
         .unwrap_or(0);
@@ -107,7 +108,7 @@ fn table_batch(
         while picked.len() < del_n.min(rows) {
             picked.insert(rng.random_range(0..rows));
         }
-        deletes.extend(picked.into_iter().map(|i| stored.rows()[i].clone()));
+        deletes.extend(picked.into_iter().map(|i| stored.tuple_at(i as u32)));
     }
     Ok(DeltaBatch::new(inserts, deletes))
 }

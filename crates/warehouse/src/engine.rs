@@ -140,7 +140,13 @@ impl Warehouse {
             cost_model: CostModel::default(),
             options: GreedyOptions::default(),
             policy: ReoptPolicy::default(),
-            exec_options: ExecOptions::default(),
+            // The engine serves reads from the maintained columnar state
+            // (`query` materializes rows on demand), so epochs skip the
+            // end-of-cycle row collection entirely.
+            exec_options: ExecOptions {
+                collect_view_rows: false,
+                ..ExecOptions::default()
+            },
             optimizer: Optimizer::default(),
             plan: None,
             pending: DeltaSet::new(),
@@ -643,6 +649,10 @@ impl Warehouse {
             self.views.len(),
             self.pending.total_tuples(),
             self.replans.len()
+        ));
+        out.push_str(&format!(
+            "scheduler: {}\n",
+            mvmqo_exec::scheduler_description(self.exec_options.parallel)
         ));
         match self.plan.as_ref() {
             None => out.push_str("no plan (no views registered)\n"),

@@ -253,11 +253,7 @@ impl Session {
         }
         Ok(format!(
             "epoch scheduler: {}",
-            if self.warehouse.parallel() {
-                "parallel"
-            } else {
-                "serial"
-            }
+            mvmqo_exec::scheduler_description(self.warehouse.parallel())
         ))
     }
 

@@ -148,10 +148,9 @@ pub fn generate_deltas(world: &SmallWorld, percent: f64, seed: u64) -> DeltaSet 
         let rows = table.len();
         let ins_n = ((rows as f64) * percent / 100.0).round() as usize;
         let del_n = ((rows as f64) * percent / 200.0).round() as usize;
-        let max_key = table
-            .rows()
-            .iter()
-            .map(|r| r[0].as_i64().unwrap_or(0))
+        let key_col = table.batch().column(0);
+        let max_key = (0..key_col.len())
+            .map(|i| key_col.value(i).as_i64().unwrap_or(0))
             .max()
             .unwrap_or(0);
         let mut inserts: Vec<Tuple> = Vec::with_capacity(ins_n);
@@ -171,8 +170,8 @@ pub fn generate_deltas(world: &SmallWorld, percent: f64, seed: u64) -> DeltaSet 
         // pruning is applied to them).
         let mut deletes: Vec<Tuple> = Vec::with_capacity(del_n);
         for _ in 0..del_n {
-            let pos = rng.below(table.len() as u64) as usize;
-            deletes.push(table.rows()[pos].clone());
+            let pos = rng.below(table.len() as u64) as u32;
+            deletes.push(table.tuple_at(pos));
         }
         deletes.sort();
         deletes.dedup();

@@ -445,7 +445,14 @@ fn run_epoch_with(parallel: bool, percent: f64, seed: u64) -> BTreeMap<String, V
         &report.program,
         &index_plan,
         &mut state,
-        ExecOptions { parallel },
+        ExecOptions {
+            parallel,
+            // The property must exercise the real parallel scheduler even
+            // on 1-core CI hosts (where the auto-disable would otherwise
+            // make this serial-vs-serial).
+            force_parallel: true,
+            ..ExecOptions::default()
+        },
     );
     exec.view_rows
 }
