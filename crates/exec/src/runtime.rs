@@ -65,6 +65,29 @@ impl AggState {
             .collect()
     }
 
+    /// Iterate the hidden per-group accumulators (the durability layer
+    /// persists them so aggregate views stay incrementally maintainable
+    /// after recovery).
+    pub fn group_entries(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<Accumulator>)> {
+        self.groups.iter()
+    }
+
+    /// Reassemble from persisted parts (inverse of
+    /// [`AggState::group_entries`] plus the public fields).
+    pub fn from_parts(
+        group_by: Vec<AttrId>,
+        specs: Vec<AggSpec>,
+        input_schema: Schema,
+        groups: Vec<(Vec<Value>, Vec<Accumulator>)>,
+    ) -> Self {
+        AggState {
+            group_by,
+            specs,
+            input_schema,
+            groups: groups.into_iter().collect(),
+        }
+    }
+
     /// Fold raw input rows in (inserts) or out (deletes). Returns `true` if
     /// a non-removable aggregate (MIN/MAX) saw a deletion and the state can
     /// no longer answer exactly — the caller must recompute.
@@ -237,6 +260,19 @@ impl DistinctState {
         out
     }
 
+    /// Iterate the hidden support counts (persisted by the durability
+    /// layer so DISTINCT views survive recovery incrementally).
+    pub fn count_entries(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.counts.iter().map(|(t, c)| (t, *c))
+    }
+
+    /// Reassemble from persisted support counts.
+    pub fn from_parts(counts: Vec<(Tuple, i64)>) -> Self {
+        DistinctState {
+            counts: counts.into_iter().collect(),
+        }
+    }
+
     /// Current view contents as a sorted columnar batch (deferred merge
     /// rebuild install path).
     pub fn output_batch(&self, schema: &Schema) -> Batch {
@@ -303,6 +339,81 @@ impl RuntimeState {
     /// True if `e` is stored and fresh.
     pub fn is_fresh(&self, e: EqId) -> bool {
         self.fresh.contains(&e)
+    }
+
+    /// Iterate every stored result (the durability layer walks this when
+    /// snapshotting permanent materializations).
+    pub fn mats(&self) -> impl Iterator<Item = (EqId, &StoredTable)> {
+        self.mats.iter().map(|(e, t)| (*e, t))
+    }
+
+    /// Hidden aggregate support state of a stored result, if any.
+    pub fn agg_state(&self, e: EqId) -> Option<&AggState> {
+        self.agg_states.get(&e)
+    }
+
+    /// Hidden DISTINCT support state of a stored result, if any.
+    pub fn distinct_state(&self, e: EqId) -> Option<&DistinctState> {
+        self.distinct_states.get(&e)
+    }
+
+    /// True while some stored image lags its hidden support state (a
+    /// deferred rebuild is pending).
+    pub fn has_deferred(&self) -> bool {
+        !self.deferred.is_empty()
+    }
+
+    /// Realize every pending deferred rebuild in place: each lagging
+    /// stored table is rebuilt from its aggregate/distinct support state,
+    /// keeping the indices it already had. [`crate::Runtime::take_state`]
+    /// does this at epoch end; the durability layer calls it again
+    /// defensively before serializing, so a snapshot can never capture a
+    /// stale stored-table image.
+    pub fn realize_deferred(&mut self) {
+        let pending: Vec<EqId> = self.deferred.drain().collect();
+        for e in pending {
+            let old = self.mats.get(&e).expect("deferred result stored");
+            let schema = old.schema().clone();
+            let specs: Vec<_> = old
+                .indexed_attrs()
+                .map(|a| (a, old.index_on(a).expect("indexed attr").kind))
+                .collect();
+            let batch = if let Some(st) = self.agg_states.get(&e) {
+                st.output_batch(&schema)
+            } else if let Some(st) = self.distinct_states.get(&e) {
+                st.output_batch(&schema)
+            } else {
+                unreachable!("deferred {e} has neither aggregate nor distinct state")
+            };
+            let mut table = StoredTable::from_batch(batch);
+            for (attr, kind) in specs {
+                table.create_index(attr, kind);
+            }
+            self.mats.insert(e, table);
+        }
+    }
+
+    /// Install a recovered stored result (and its freshness mark) under a
+    /// node id of the *current* plan. Recovery resolves view names to the
+    /// re-planned DAG's root ids before calling this — raw ids from an old
+    /// session are meaningless here.
+    pub fn install_mat(&mut self, e: EqId, table: StoredTable, fresh: bool) {
+        self.mats.insert(e, table);
+        if fresh {
+            self.fresh.insert(e);
+        } else {
+            self.fresh.remove(&e);
+        }
+    }
+
+    /// Install recovered aggregate support state for a stored result.
+    pub fn install_agg_state(&mut self, e: EqId, state: AggState) {
+        self.agg_states.insert(e, state);
+    }
+
+    /// Install recovered DISTINCT support state for a stored result.
+    pub fn install_distinct_state(&mut self, e: EqId, state: DistinctState) {
+        self.distinct_states.insert(e, state);
     }
 
     /// Keep only the listed stored results (and their hidden

@@ -197,6 +197,39 @@ impl Accumulator {
         }
     }
 
+    /// Decompose into raw state for persistence:
+    /// `(func, count, sum, all_int, min, max)`.
+    #[allow(clippy::type_complexity)]
+    pub fn to_parts(&self) -> (AggFunc, i64, f64, bool, Option<Value>, Option<Value>) {
+        (
+            self.func,
+            self.count,
+            self.sum,
+            self.all_int,
+            self.min.clone(),
+            self.max.clone(),
+        )
+    }
+
+    /// Reassemble from persisted state (inverse of [`Accumulator::to_parts`]).
+    pub fn from_parts(
+        func: AggFunc,
+        count: i64,
+        sum: f64,
+        all_int: bool,
+        min: Option<Value>,
+        max: Option<Value>,
+    ) -> Self {
+        Accumulator {
+            func,
+            count,
+            sum,
+            all_int,
+            min,
+            max,
+        }
+    }
+
     /// Subtract another accumulator (delete-side delta merge); removable
     /// aggregates only.
     pub fn unmerge(&mut self, other: &Accumulator) {

@@ -138,6 +138,20 @@ impl Column {
         }
     }
 
+    /// Reassemble a column from its physical parts (the durability codec's
+    /// decode path). The mask, when present, must cover every position;
+    /// `Mixed` columns carry NULLs inline and never take a mask.
+    pub fn from_parts(data: ColumnData, nulls: Option<Vec<bool>>) -> Column {
+        if let Some(mask) = &nulls {
+            assert_eq!(mask.len(), data.len(), "null mask length mismatch");
+            assert!(
+                !matches!(data, ColumnData::Mixed(_)),
+                "Mixed columns carry NULLs inline"
+            );
+        }
+        Column { data, nulls }
+    }
+
     pub fn len(&self) -> usize {
         self.data.len()
     }
@@ -380,6 +394,16 @@ impl Column {
 ///
 /// Columns are reference-counted, so cloning a batch (e.g. serving a
 /// cached scan) and projecting are O(width), never O(cells).
+/// Logical equality: same length and the same [`Value`] at every position,
+/// regardless of physical representation (a `Mixed` column equals a typed
+/// one holding the same values). This is what the durability round-trip
+/// tests pin the codec against.
+impl PartialEq for Column {
+    fn eq(&self, other: &Column) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.value(i) == other.value(i))
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct Batch {
     schema: Schema,
@@ -828,6 +852,17 @@ impl Batch {
             }
         }
         Ordering::Equal
+    }
+}
+
+/// Logical equality: same schema and the same tuples in logical (selection)
+/// order, independent of physical layout, column sharing, or selection
+/// vectors.
+impl PartialEq for Batch {
+    fn eq(&self, other: &Batch) -> bool {
+        self.schema == other.schema
+            && self.num_rows() == other.num_rows()
+            && (0..self.num_rows()).all(|i| self.tuple_at(i) == other.tuple_at(i))
     }
 }
 

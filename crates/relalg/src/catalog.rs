@@ -239,6 +239,46 @@ impl Catalog {
         })
     }
 
+    /// Number of attribute ids the allocator has handed out so far (the
+    /// durability layer persists this alongside the table definitions).
+    pub fn allocated_attrs(&self) -> u32 {
+        self.attr_alloc.allocated()
+    }
+
+    /// Rebuild a catalog from persisted table definitions and the saved
+    /// allocator position. The name and attribute-ownership indexes are
+    /// derived from the definitions; `next_attr` must cover every base
+    /// attribute id so post-recovery `fresh_attr` calls never collide.
+    pub fn from_parts(tables: Vec<TableDef>, next_attr: u32) -> Result<Catalog, String> {
+        let mut by_name = HashMap::with_capacity(tables.len());
+        let mut attr_owner = HashMap::new();
+        for (i, t) in tables.iter().enumerate() {
+            if t.id.0 as usize != i {
+                return Err(format!("table {} out of position", t.name));
+            }
+            if by_name.insert(t.name.clone(), t.id).is_some() {
+                return Err(format!("duplicate table name {}", t.name));
+            }
+            for a in t.schema.attrs() {
+                if a.id.0 >= next_attr {
+                    return Err(format!(
+                        "attribute {} of {} is beyond the allocator position {next_attr}",
+                        a.id, t.name
+                    ));
+                }
+                if attr_owner.insert(a.id, t.id).is_some() {
+                    return Err(format!("attribute {} owned by two tables", a.id));
+                }
+            }
+        }
+        Ok(Catalog {
+            tables,
+            by_name,
+            attr_alloc: AttrAllocator::starting_at(next_attr),
+            attr_owner,
+        })
+    }
+
     /// Update the catalog's row-count estimate for a table (after refresh).
     pub fn set_row_count(&mut self, id: TableId, rows: f64) {
         let t = &mut self.tables[id.0 as usize];

@@ -16,7 +16,9 @@
 //! * [`agg`] — aggregate functions and incremental accumulators,
 //! * [`logical`] — the logical operator tree views are written in,
 //! * [`catalog`] — table definitions, keys, and base statistics,
-//! * [`stats`] — cardinality estimation used by the cost model.
+//! * [`stats`] — cardinality estimation used by the cost model,
+//! * [`codec`] — the self-describing binary encoding the durability layer
+//!   uses for WAL records and snapshots.
 //!
 //! Nothing in this crate knows about DAGs, deltas, or plans; those live in
 //! `mvmqo-core`.
@@ -24,6 +26,7 @@
 pub mod agg;
 pub mod batch;
 pub mod catalog;
+pub mod codec;
 pub mod expr;
 pub mod hash;
 pub mod logical;
@@ -35,6 +38,7 @@ pub mod types;
 pub use agg::{AggFunc, AggSpec};
 pub use batch::{Batch, Column, ColumnData, CompiledPredicate};
 pub use catalog::{Catalog, ColumnSpec, ForeignKey, TableDef, TableId};
+pub use codec::{CodecError, Dec, Enc};
 pub use expr::{ArithOp, CmpOp, Predicate, ScalarExpr};
 pub use logical::{LogicalExpr, ViewDef};
 pub use schema::{AttrAllocator, AttrId, Attribute, Schema};

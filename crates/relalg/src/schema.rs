@@ -142,6 +142,13 @@ impl AttrAllocator {
         Self::default()
     }
 
+    /// An allocator that resumes after `next` ids were already handed out
+    /// (recovery restores the persisted counter so fresh ids never collide
+    /// with attributes loaded from a snapshot).
+    pub fn starting_at(next: u32) -> Self {
+        AttrAllocator { next }
+    }
+
     pub fn fresh(&mut self) -> AttrId {
         let id = AttrId(self.next);
         self.next += 1;

@@ -1,0 +1,61 @@
+//! CRC32 (IEEE 802.3 polynomial) for WAL and snapshot framing.
+//!
+//! Hand-rolled table-driven implementation — the durability layer depends
+//! on no external crates. The table is built at compile time, so runtime
+//! cost is one lookup per byte.
+
+/// Reflected IEEE polynomial (the one used by zip, PNG, Ethernet).
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 of `bytes` (initial value all-ones, final XOR all-ones).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"the quick brown fox");
+        let mut corrupted = b"the quick brown fox".to_vec();
+        for i in 0..corrupted.len() {
+            corrupted[i] ^= 0x01;
+            assert_ne!(crc32(&corrupted), base, "flip at byte {i} undetected");
+            corrupted[i] ^= 0x01;
+        }
+    }
+}

@@ -48,3 +48,40 @@ impl fmt::Display for StorageError {
 }
 
 impl std::error::Error for StorageError {}
+
+/// Errors raised while loading durable state. A torn WAL tail is *not* an
+/// error (prefix recovery handles it, see [`crate::wal::scan_wal`]); these
+/// are the failures recovery cannot proceed past — a missing manifest, an
+/// unreadable file, or a snapshot whose framing or contents fail
+/// verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// Filesystem failure while reading durable state.
+    Io(String),
+    /// A durable file failed its CRC, magic, or structural checks.
+    Corrupt { file: String, why: String },
+    /// The durability directory has no manifest — nothing to recover.
+    MissingManifest(String),
+    /// Snapshot contents are internally inconsistent (e.g. a table
+    /// references a catalog entry that does not exist).
+    Inconsistent(String),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Io(why) => write!(f, "recovery I/O error: {why}"),
+            RecoveryError::Corrupt { file, why } => {
+                write!(f, "durable file {file} is corrupt: {why}")
+            }
+            RecoveryError::MissingManifest(dir) => {
+                write!(f, "no manifest in durability directory {dir}")
+            }
+            RecoveryError::Inconsistent(why) => {
+                write!(f, "snapshot is inconsistent: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}

@@ -1,0 +1,104 @@
+//! Deterministic fault injection for durability tests.
+//!
+//! [`FailpointFile`] wraps any `Write` sink and models a crash at an exact
+//! byte offset: bytes up to the kill point reach the underlying sink, and
+//! everything after it is silently dropped — exactly what a power failure
+//! leaves behind when a write straddles the crash (a torn write). Because
+//! the kill point is a plain byte offset, a test can aim it at a record
+//! boundary, inside a length prefix, or mid-payload, and the recovery path
+//! must cope with all of them.
+//!
+//! The shim *succeeds* the write calls past the kill point rather than
+//! erroring: a crashing process never observes its own last failed write,
+//! and recovery must be driven purely by what is on disk.
+
+use std::io::{self, Write};
+
+/// A `Write` sink that stops persisting at a configured byte offset.
+#[derive(Debug)]
+pub struct FailpointFile<W> {
+    inner: W,
+    written: u64,
+    kill_at: Option<u64>,
+}
+
+impl<W: Write> FailpointFile<W> {
+    /// Wrap `inner`, dropping every byte at offset `kill_at` and beyond.
+    /// `None` never kills (pass-through).
+    pub fn new(inner: W, kill_at: Option<u64>) -> Self {
+        FailpointFile {
+            inner,
+            written: 0,
+            kill_at,
+        }
+    }
+
+    /// Bytes that actually reached the underlying sink.
+    pub fn persisted(&self) -> u64 {
+        match self.kill_at {
+            Some(k) => self.written.min(k),
+            None => self.written,
+        }
+    }
+
+    /// True once at least one byte has been dropped.
+    pub fn killed(&self) -> bool {
+        self.kill_at.is_some_and(|k| self.written > k)
+    }
+
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailpointFile<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let surviving = match self.kill_at {
+            Some(k) => (k.saturating_sub(self.written) as usize).min(buf.len()),
+            None => buf.len(),
+        };
+        if surviving > 0 {
+            self.inner.write_all(&buf[..surviving])?;
+        }
+        // Report full success: the crashing process believes the write
+        // landed; only the on-disk prefix tells the truth.
+        self.written += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_without_kill_point() {
+        let mut f = FailpointFile::new(Vec::new(), None);
+        f.write_all(b"hello world").unwrap();
+        assert!(!f.killed());
+        assert_eq!(f.into_inner(), b"hello world");
+    }
+
+    #[test]
+    fn tears_a_write_mid_buffer() {
+        let mut f = FailpointFile::new(Vec::new(), Some(7));
+        f.write_all(b"hello").unwrap();
+        f.write_all(b" world").unwrap(); // straddles offset 7
+        f.write_all(b"!!").unwrap(); // fully dropped
+        assert!(f.killed());
+        assert_eq!(f.persisted(), 7);
+        assert_eq!(f.into_inner(), b"hello w");
+    }
+
+    #[test]
+    fn kill_at_zero_persists_nothing() {
+        let mut f = FailpointFile::new(Vec::new(), Some(0));
+        f.write_all(b"data").unwrap();
+        assert_eq!(f.persisted(), 0);
+        assert!(f.into_inner().is_empty());
+    }
+}

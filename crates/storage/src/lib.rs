@@ -14,18 +14,29 @@
 //! * [`database`] — the runtime database: base tables + materialized
 //!   results + delta application,
 //! * [`error`] — typed errors for bad lookups and malformed batches, so
-//!   long-lived engines never abort on bad input.
+//!   long-lived engines never abort on bad input,
+//! * [`crc`], [`wal`], [`snapshot`], [`failpoint`] — the durability layer:
+//!   CRC-framed write-ahead logging of delta batches, atomic columnar
+//!   snapshots with a recovery manifest, and deterministic fault injection
+//!   for crash-recovery tests.
 
 pub mod blocks;
+pub mod crc;
 pub mod database;
 pub mod delta;
 pub mod error;
+pub mod failpoint;
 pub mod index;
+pub mod snapshot;
 pub mod table;
+pub mod wal;
 
 pub use blocks::BlockConfig;
 pub use database::Database;
 pub use delta::{DeltaBatch, DeltaKind, DeltaSet};
-pub use error::StorageError;
+pub use error::{RecoveryError, StorageError};
+pub use failpoint::FailpointFile;
 pub use index::{Index, IndexKind};
+pub use snapshot::Manifest;
 pub use table::StoredTable;
+pub use wal::{scan_wal, scan_wal_bytes, WalRecord, WalScan, WalStop, WalWriter};

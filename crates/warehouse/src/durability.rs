@@ -1,0 +1,311 @@
+//! The engine's snapshot image: what a `save` persists and `recover` reloads.
+//!
+//! A snapshot is a full columnar image of the engine at one epoch: the
+//! catalog (with fitted statistics and the attribute-allocator position),
+//! the view definitions in registration order, every base [`StoredTable`],
+//! the pending delta queue, and — per view — the maintained root
+//! materialization with its hidden aggregate/distinct support state
+//! (footnote 1 of the paper: the counts that make deletions applicable).
+//!
+//! The optimizer session itself is *not* byte-serialized. The memo and
+//! AND-OR DAG are reconstructed deterministically at recovery by
+//! re-registering the persisted views in order against the persisted
+//! catalog — the first one-view plan is cold, every subsequent plan
+//! (including all post-recovery replans) runs incrementally against the
+//! rebuilt memo. The snapshot also records the selection the old session
+//! had chosen, so recovery can report whether the warm re-plan landed on
+//! the same set.
+//!
+//! Materializations are persisted **per view root, keyed by view name** —
+//! never by raw node id. `EqId`s are an artifact of one session's DAG
+//! construction order and do not survive a restart; view names do. Interior
+//! permanent materializations rebuild at the first post-recovery epoch's
+//! setup (correct, at the cost of one rebuild).
+
+use mvmqo_exec::{AggState, DistinctState};
+use mvmqo_relalg::catalog::{Catalog, TableId};
+use mvmqo_relalg::codec::{self, CodecError, Dec, Enc};
+use mvmqo_relalg::logical::ViewDef;
+use mvmqo_relalg::tuple::Tuple;
+use mvmqo_relalg::types::Value;
+use mvmqo_relalg::Batch;
+use mvmqo_storage::snapshot::{decode_stored_table, encode_stored_table};
+use mvmqo_storage::StoredTable;
+
+/// One view's maintained root materialization.
+#[derive(Debug)]
+pub struct ViewMatImage {
+    /// View name — the only cross-session-stable key for a root.
+    pub name: String,
+    /// Whether the stored image was fresh (maintained through the last
+    /// epoch) when the snapshot was taken.
+    pub fresh: bool,
+    pub table: StoredTable,
+    pub agg: Option<AggState>,
+    pub distinct: Option<DistinctState>,
+}
+
+/// Full engine image at one epoch.
+#[derive(Debug)]
+pub struct SnapshotData {
+    pub epoch: u64,
+    /// Drift counter at snapshot time (tuples ingested since last re-plan).
+    pub ingested_since_plan: u64,
+    pub catalog: Catalog,
+    /// Views in registration order — recovery re-registers them in this
+    /// order so the rebuilt DAG unifies identically.
+    pub views: Vec<ViewDef>,
+    pub base_tables: Vec<(TableId, StoredTable)>,
+    /// Observed per-epoch (inserts, deletes) EMA rates.
+    pub observed: Vec<(TableId, f64, f64)>,
+    /// Queued-but-unapplied deltas as typed columnar batches.
+    pub pending: Vec<(TableId, Batch, Batch)>,
+    pub view_mats: Vec<ViewMatImage>,
+    /// Sorted descriptions of the selection (materializations + indices)
+    /// the old session had chosen — recovery compares its warm re-plan
+    /// against this for the durability status report.
+    pub selection: Vec<String>,
+}
+
+fn encode_tuple(e: &mut Enc, t: &[Value]) {
+    e.u32(t.len() as u32);
+    t.iter().for_each(|v| codec::encode_value(e, v));
+}
+
+fn decode_tuple(d: &mut Dec) -> Result<Tuple, CodecError> {
+    let n = d.u32()? as usize;
+    (0..n).map(|_| codec::decode_value(d)).collect()
+}
+
+fn encode_opt_value(e: &mut Enc, v: &Option<Value>) {
+    match v {
+        None => e.u8(0),
+        Some(v) => {
+            e.u8(1);
+            codec::encode_value(e, v);
+        }
+    }
+}
+
+fn decode_opt_value(d: &mut Dec) -> Result<Option<Value>, CodecError> {
+    Ok(match d.u8()? {
+        0 => None,
+        1 => Some(codec::decode_value(d)?),
+        t => return Err(CodecError::Invalid(format!("option flag {t}"))),
+    })
+}
+
+fn encode_agg_state(e: &mut Enc, st: &AggState) {
+    e.u32(st.group_by.len() as u32);
+    st.group_by.iter().for_each(|a| e.u32(a.0));
+    e.u32(st.specs.len() as u32);
+    st.specs.iter().for_each(|s| codec::encode_agg_spec(e, s));
+    codec::encode_schema(e, &st.input_schema);
+    // Deterministic group order: sort by key.
+    let mut groups: Vec<_> = st.group_entries().collect();
+    groups.sort_by_key(|(a, _)| *a);
+    e.u32(groups.len() as u32);
+    for (key, accs) in groups {
+        encode_tuple(e, key);
+        e.u32(accs.len() as u32);
+        for acc in accs {
+            let (func, count, sum, all_int, min, max) = acc.to_parts();
+            codec::encode_agg_func(e, func);
+            e.i64(count);
+            e.f64(sum);
+            e.bool(all_int);
+            encode_opt_value(e, &min);
+            encode_opt_value(e, &max);
+        }
+    }
+}
+
+fn decode_agg_state(d: &mut Dec) -> Result<AggState, CodecError> {
+    use mvmqo_relalg::agg::Accumulator;
+    use mvmqo_relalg::schema::AttrId;
+    let ng = d.u32()? as usize;
+    let group_by = (0..ng)
+        .map(|_| d.u32().map(AttrId))
+        .collect::<Result<Vec<_>, _>>()?;
+    let ns = d.u32()? as usize;
+    let specs = (0..ns)
+        .map(|_| codec::decode_agg_spec(d))
+        .collect::<Result<Vec<_>, _>>()?;
+    let input_schema = codec::decode_schema(d)?;
+    let ngroups = d.u32()? as usize;
+    let mut groups = Vec::with_capacity(ngroups);
+    for _ in 0..ngroups {
+        let key = decode_tuple(d)?;
+        let na = d.u32()? as usize;
+        let accs = (0..na)
+            .map(|_| {
+                Ok(Accumulator::from_parts(
+                    codec::decode_agg_func(d)?,
+                    d.i64()?,
+                    d.f64()?,
+                    d.bool()?,
+                    decode_opt_value(d)?,
+                    decode_opt_value(d)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, CodecError>>()?;
+        groups.push((key, accs));
+    }
+    Ok(AggState::from_parts(group_by, specs, input_schema, groups))
+}
+
+fn encode_distinct_state(e: &mut Enc, st: &DistinctState) {
+    let mut entries: Vec<_> = st.count_entries().collect();
+    entries.sort_by_key(|(a, _)| *a);
+    e.u32(entries.len() as u32);
+    for (row, count) in entries {
+        encode_tuple(e, row);
+        e.i64(count);
+    }
+}
+
+fn decode_distinct_state(d: &mut Dec) -> Result<DistinctState, CodecError> {
+    let n = d.u32()? as usize;
+    let entries = (0..n)
+        .map(|_| Ok((decode_tuple(d)?, d.i64()?)))
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    Ok(DistinctState::from_parts(entries))
+}
+
+impl SnapshotData {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.epoch);
+        e.u64(self.ingested_since_plan);
+        codec::encode_catalog(&mut e, &self.catalog);
+
+        e.u32(self.views.len() as u32);
+        self.views
+            .iter()
+            .for_each(|v| codec::encode_view_def(&mut e, v));
+
+        e.u32(self.base_tables.len() as u32);
+        for (t, table) in &self.base_tables {
+            e.u32(t.0);
+            encode_stored_table(&mut e, table);
+        }
+
+        e.u32(self.observed.len() as u32);
+        for (t, ins, del) in &self.observed {
+            e.u32(t.0);
+            e.f64(*ins);
+            e.f64(*del);
+        }
+
+        e.u32(self.pending.len() as u32);
+        for (t, inserts, deletes) in &self.pending {
+            e.u32(t.0);
+            codec::encode_batch(&mut e, inserts);
+            codec::encode_batch(&mut e, deletes);
+        }
+
+        e.u32(self.view_mats.len() as u32);
+        for m in &self.view_mats {
+            e.str(&m.name);
+            e.bool(m.fresh);
+            encode_stored_table(&mut e, &m.table);
+            match &m.agg {
+                None => e.u8(0),
+                Some(st) => {
+                    e.u8(1);
+                    encode_agg_state(&mut e, st);
+                }
+            }
+            match &m.distinct {
+                None => e.u8(0),
+                Some(st) => {
+                    e.u8(1);
+                    encode_distinct_state(&mut e, st);
+                }
+            }
+        }
+
+        e.u32(self.selection.len() as u32);
+        self.selection.iter().for_each(|s| e.str(s));
+        e.into_bytes()
+    }
+
+    pub fn decode(body: &[u8]) -> Result<SnapshotData, CodecError> {
+        let mut d = Dec::new(body);
+        let epoch = d.u64()?;
+        let ingested_since_plan = d.u64()?;
+        let catalog = codec::decode_catalog(&mut d)?;
+
+        let nv = d.u32()? as usize;
+        let views = (0..nv)
+            .map(|_| codec::decode_view_def(&mut d))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let nb = d.u32()? as usize;
+        let base_tables = (0..nb)
+            .map(|_| Ok((TableId(d.u32()?), decode_stored_table(&mut d)?)))
+            .collect::<Result<Vec<_>, CodecError>>()?;
+
+        let no = d.u32()? as usize;
+        let observed = (0..no)
+            .map(|_| Ok((TableId(d.u32()?), d.f64()?, d.f64()?)))
+            .collect::<Result<Vec<_>, CodecError>>()?;
+
+        let np = d.u32()? as usize;
+        let pending = (0..np)
+            .map(|_| {
+                Ok((
+                    TableId(d.u32()?),
+                    codec::decode_batch(&mut d)?,
+                    codec::decode_batch(&mut d)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, CodecError>>()?;
+
+        let nm = d.u32()? as usize;
+        let mut view_mats = Vec::with_capacity(nm);
+        for _ in 0..nm {
+            let name = d.str()?;
+            let fresh = d.bool()?;
+            let table = decode_stored_table(&mut d)?;
+            let agg = match d.u8()? {
+                0 => None,
+                1 => Some(decode_agg_state(&mut d)?),
+                t => return Err(CodecError::Invalid(format!("agg flag {t}"))),
+            };
+            let distinct = match d.u8()? {
+                0 => None,
+                1 => Some(decode_distinct_state(&mut d)?),
+                t => return Err(CodecError::Invalid(format!("distinct flag {t}"))),
+            };
+            view_mats.push(ViewMatImage {
+                name,
+                fresh,
+                table,
+                agg,
+                distinct,
+            });
+        }
+
+        let nsel = d.u32()? as usize;
+        let selection = (0..nsel).map(|_| d.str()).collect::<Result<Vec<_>, _>>()?;
+
+        if !d.is_empty() {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing bytes after snapshot body",
+                d.remaining()
+            )));
+        }
+        Ok(SnapshotData {
+            epoch,
+            ingested_since_plan,
+            catalog,
+            views,
+            base_tables,
+            observed,
+            pending,
+            view_mats,
+            selection,
+        })
+    }
+}

@@ -12,6 +12,7 @@
 //! ingested-delta volume, or the realized-vs-estimated cost drifts past
 //! thresholds.
 
+use crate::durability::{SnapshotData, ViewMatImage};
 use crate::error::WarehouseError;
 use crate::policy::{ReoptPolicy, ReoptTrigger};
 use mvmqo_core::api::OptimizerReport;
@@ -28,10 +29,14 @@ use mvmqo_relalg::catalog::{Catalog, TableId};
 use mvmqo_relalg::logical::ViewDef;
 use mvmqo_relalg::schema::AttrId;
 use mvmqo_relalg::tuple::{bag_eq_approx, Tuple};
+use mvmqo_relalg::Batch;
 use mvmqo_storage::database::Database;
 use mvmqo_storage::delta::{DeltaBatch, DeltaSet};
-use mvmqo_storage::error::StorageError;
+use mvmqo_storage::error::{RecoveryError, StorageError};
+use mvmqo_storage::snapshot::{self, Manifest};
+use mvmqo_storage::wal::{scan_wal, WalRecord, WalWriter};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// One re-optimization: when, why, how (cold vs incremental), how long.
@@ -84,6 +89,37 @@ pub struct EpochReport {
     pub forced_recomputes: usize,
 }
 
+/// The live durability attachment: where durable state lives and the open
+/// WAL segment every accepted ingest and committed epoch is appended to.
+struct Durability {
+    dir: PathBuf,
+    wal: WalWriter,
+    /// Sequence number of the current snapshot/WAL segment pair.
+    wal_seq: u64,
+    /// Epoch captured by the current snapshot (the WAL truncation point).
+    snapshot_epoch: u64,
+}
+
+/// How this engine instance came back from durable state (present only on
+/// warehouses built by [`Warehouse::recover`]).
+#[derive(Debug, Clone)]
+pub struct RecoveryInfo {
+    /// Epoch restored from the snapshot (before WAL replay).
+    pub snapshot_epoch: u64,
+    /// Epoch after replaying the WAL tail.
+    pub recovered_epoch: u64,
+    /// WAL records replayed through the ordinary ingest/epoch path.
+    pub replayed_records: usize,
+    /// True when the WAL ended cleanly at EOF; false when prefix recovery
+    /// stopped at a torn or corrupt tail (the surviving prefix was kept).
+    pub clean_wal: bool,
+    /// Why the WAL scan stopped (human-readable, for `explain`).
+    pub wal_stop: String,
+    /// True when the warm re-plan landed on the same materialization +
+    /// index selection the old session had chosen.
+    pub selection_match: bool,
+}
+
 /// A served query: rows plus provenance and staleness.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -127,6 +163,11 @@ pub struct Warehouse {
     /// the cache persists across epochs (dead entries are pruned).
     avail_cache: HashMap<TableId, HashMap<Tuple, i64>>,
     replans: Vec<ReplanRecord>,
+    /// Present once `enable_wal` ran (or after `recover`): ingests are
+    /// logged write-ahead and epochs append commit records.
+    durability: Option<Durability>,
+    /// Present only on engines built by [`Warehouse::recover`].
+    recovered: Option<RecoveryInfo>,
 }
 
 impl Warehouse {
@@ -157,6 +198,8 @@ impl Warehouse {
             observed: BTreeMap::new(),
             avail_cache: HashMap::new(),
             replans: Vec::new(),
+            durability: None,
+            recovered: None,
         }
     }
 
@@ -266,6 +309,19 @@ impl Warehouse {
             return Ok(0);
         }
         self.check_delete_multiplicity(table, &batch)?;
+        // Write-ahead: the batch must be durable before the engine commits
+        // it to any in-memory state. An append failure rejects the ingest
+        // whole, leaving both the log and the engine unchanged.
+        if self.durability.is_some() {
+            let schema = self.catalog.table(table).schema.clone();
+            let rec = WalRecord::Ingest {
+                epoch: self.epoch + 1,
+                table,
+                inserts: Batch::from_rows(schema.clone(), &batch.inserts),
+                deletes: Batch::from_rows(schema, &batch.deletes),
+            };
+            self.wal_append(&rec)?;
+        }
         // Commit the batch to the availability cache (if built) and queue.
         if let Some(avail) = self.avail_cache.get_mut(&table) {
             for row in &batch.inserts {
@@ -360,6 +416,7 @@ impl Warehouse {
                 forced_recomputes: 0,
             };
             self.finish_epoch(report.clone());
+            self.wal_commit_epoch()?;
             return Ok(report);
         }
 
@@ -396,6 +453,7 @@ impl Warehouse {
             forced_recomputes: exec.forced_recomputes,
         };
         self.finish_epoch(report.clone());
+        self.wal_commit_epoch()?;
         Ok(report)
     }
 
@@ -568,6 +626,324 @@ impl Warehouse {
     }
 
     // ==================================================================
+    // Durability
+    // ==================================================================
+
+    /// Turn durability on: take an initial snapshot of the whole engine in
+    /// `dir` and open a fresh WAL segment; from here every accepted ingest
+    /// is logged write-ahead and every epoch appends a commit record. If
+    /// the directory already holds durable state, a new segment pair is
+    /// started after it (the manifest flip is the commit point). Returns
+    /// the snapshot path.
+    pub fn enable_wal(&mut self, dir: impl AsRef<Path>) -> Result<PathBuf, WarehouseError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| WarehouseError::Durability(format!("creating {}: {e}", dir.display())))?;
+        let seq = match Manifest::load(&dir) {
+            Ok(m) => m.wal_seq + 1,
+            Err(RecoveryError::MissingManifest(_)) => 0,
+            Err(e) => return Err(e.into()),
+        };
+        self.checkpoint(dir, seq)
+    }
+
+    /// Take a new snapshot and truncate the WAL: writes a fresh
+    /// snapshot/WAL segment pair and flips the manifest to it, making the
+    /// old segment pair dead (it is pruned). Requires [`Warehouse::enable_wal`]
+    /// first. Returns the snapshot path.
+    pub fn save(&mut self) -> Result<PathBuf, WarehouseError> {
+        let d = self
+            .durability
+            .as_ref()
+            .ok_or(WarehouseError::DurabilityDisabled)?;
+        let (dir, seq) = (d.dir.clone(), d.wal_seq + 1);
+        self.checkpoint(dir, seq)
+    }
+
+    /// Write snapshot `seq`, open WAL segment `seq`, flip the manifest,
+    /// prune superseded segments, and attach the new segment as the live
+    /// durability state.
+    fn checkpoint(&mut self, dir: PathBuf, seq: u64) -> Result<PathBuf, WarehouseError> {
+        let data = self.snapshot_data();
+        let snap_name = format!("snapshot-{seq}.img");
+        let wal_name = format!("wal-{seq}.log");
+        let snap_path = dir.join(&snap_name);
+        snapshot::write_framed_atomic(&snap_path, snapshot::SNAPSHOT_MAGIC, &data.encode())
+            .map_err(|e| WarehouseError::Durability(format!("writing snapshot: {e}")))?;
+        let wal = WalWriter::create(&dir.join(&wal_name))
+            .map_err(|e| WarehouseError::Durability(format!("creating WAL segment: {e}")))?;
+        // The manifest flip is the commit point: a crash before this line
+        // recovers from the previous segment pair, a crash after it from
+        // the new one. Either is a consistent engine.
+        Manifest {
+            snapshot_epoch: self.epoch,
+            snapshot_file: snap_name,
+            wal_file: wal_name,
+            wal_seq: seq,
+        }
+        .store(&dir)
+        .map_err(|e| WarehouseError::Durability(format!("writing manifest: {e}")))?;
+        prune_segments(&dir, seq);
+        self.durability = Some(Durability {
+            dir,
+            wal,
+            wal_seq: seq,
+            snapshot_epoch: self.epoch,
+        });
+        Ok(snap_path)
+    }
+
+    /// Capture the full engine image at the current epoch. Deferred
+    /// aggregate/distinct realizations are forced first so the snapshot
+    /// never persists a stale stored table beside newer accumulator state.
+    fn snapshot_data(&mut self) -> SnapshotData {
+        if let Some(plan) = self.plan.as_mut() {
+            plan.state.realize_deferred();
+        }
+        let base_tables: Vec<_> = self
+            .catalog
+            .tables()
+            .iter()
+            .map(|t| t.id)
+            .filter(|id| self.db.has_base(*id))
+            .map(|id| (id, self.db.base(id).expect("has_base checked").clone()))
+            .collect();
+        let observed = self
+            .observed
+            .iter()
+            .map(|(t, (ins, del))| (*t, *ins, *del))
+            .collect();
+        let pending = self
+            .pending
+            .tables()
+            .map(|t| {
+                let b = self.pending.get(t).expect("listed table");
+                let schema = self.catalog.table(t).schema.clone();
+                (
+                    t,
+                    Batch::from_rows(schema.clone(), &b.inserts),
+                    Batch::from_rows(schema, &b.deletes),
+                )
+            })
+            .collect();
+        let mut view_mats = Vec::new();
+        if let Some(plan) = self.plan.as_ref() {
+            for (name, root) in &plan.report.program.views {
+                let Some((_, table)) = plan.state.mats().find(|(e, _)| e == root) else {
+                    continue;
+                };
+                view_mats.push(ViewMatImage {
+                    name: name.clone(),
+                    fresh: plan.state.is_fresh(*root),
+                    table: table.clone(),
+                    agg: plan.state.agg_state(*root).cloned(),
+                    distinct: plan.state.distinct_state(*root).cloned(),
+                });
+            }
+        }
+        SnapshotData {
+            epoch: self.epoch,
+            ingested_since_plan: self.ingested_since_plan as u64,
+            catalog: self.catalog.clone(),
+            views: self.views.clone(),
+            base_tables,
+            observed,
+            pending,
+            view_mats,
+            selection: self.mat_set(),
+        }
+    }
+
+    fn wal_append(&mut self, rec: &WalRecord) -> Result<(), WarehouseError> {
+        if let Some(d) = self.durability.as_mut() {
+            d.wal
+                .append(rec)
+                .map_err(|e| WarehouseError::Durability(format!("WAL append: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Append the epoch-commit record that makes the epoch's ingests
+    /// replayable as one atomic refresh.
+    fn wal_commit_epoch(&mut self) -> Result<(), WarehouseError> {
+        let epoch = self.epoch;
+        self.wal_append(&WalRecord::EpochCommit { epoch })
+    }
+
+    /// Rebuild a warehouse from the durable state in `dir`: load the
+    /// manifest's snapshot, re-register the persisted views in order
+    /// against the rebuilt optimizer session (warm memo — post-recovery
+    /// replans run incrementally), re-install each view's root
+    /// materialization with its hidden aggregate/distinct support state,
+    /// then replay the WAL tail through the ordinary ingest/epoch path.
+    /// A torn or corrupt WAL tail is absorbed by prefix recovery; the
+    /// engine resumes logging at the end of the surviving prefix.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<Warehouse, WarehouseError> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = Manifest::load(&dir)?;
+        let snap_path = dir.join(&manifest.snapshot_file);
+        let body = snapshot::read_framed(&snap_path, snapshot::SNAPSHOT_MAGIC)?;
+        let data = SnapshotData::decode(&body).map_err(|e| RecoveryError::Corrupt {
+            file: snap_path.display().to_string(),
+            why: e.to_string(),
+        })?;
+        if data.epoch != manifest.snapshot_epoch {
+            return Err(RecoveryError::Inconsistent(format!(
+                "snapshot is at epoch {} but manifest says {}",
+                data.epoch, manifest.snapshot_epoch
+            ))
+            .into());
+        }
+
+        let mut db = Database::new();
+        for (t, table) in data.base_tables {
+            db.put_base(t, table);
+        }
+        let mut wh = Warehouse::new(data.catalog, db);
+        wh.epoch = data.epoch;
+        // Re-register views in their original order: the DAG unifies the
+        // same way it did in the old session, and the memo is warm for
+        // every plan after the first.
+        for view in &data.views {
+            wh.register_view(view.clone())?;
+        }
+        let selection_match = wh.mat_set() == data.selection;
+
+        // Re-install persisted root materializations. Keyed by view name —
+        // node ids are not stable across sessions — and guarded by a
+        // schema check: a root whose derived schema came out differently
+        // is skipped and rebuilds at the next epoch's setup.
+        {
+            let Warehouse {
+                plan, optimizer, ..
+            } = &mut wh;
+            if let Some(plan) = plan.as_mut() {
+                for m in data.view_mats {
+                    let Some(root) = mvmqo_exec::view_root(&plan.report.program, &m.name) else {
+                        continue;
+                    };
+                    if &optimizer.dag().eq(root).schema != m.table.schema() {
+                        continue;
+                    }
+                    plan.state.install_mat(root, m.table, m.fresh);
+                    if let Some(st) = m.agg {
+                        plan.state.install_agg_state(root, st);
+                    }
+                    if let Some(st) = m.distinct {
+                        plan.state.install_distinct_state(root, st);
+                    }
+                }
+            }
+        }
+
+        wh.observed = data
+            .observed
+            .into_iter()
+            .map(|(t, ins, del)| (t, (ins, del)))
+            .collect();
+        // Restore the queued-but-unapplied deltas directly: they were
+        // validated when first accepted and are already in the WAL of the
+        // segment *before* the snapshot's truncation point — the snapshot
+        // carries them so nothing is lost.
+        for (t, inserts, deletes) in data.pending {
+            wh.pending.insert(
+                t,
+                DeltaBatch {
+                    inserts: inserts.to_rows(),
+                    deletes: deletes.to_rows(),
+                },
+            );
+        }
+        wh.ingested_since_plan = data.ingested_since_plan as usize;
+
+        // Replay the WAL tail through the ordinary ingest/epoch path.
+        // Durability is still detached, so replay does not re-log itself.
+        let wal_path = dir.join(&manifest.wal_file);
+        let scan = scan_wal(&wal_path)?;
+        let replayed = scan.records.len();
+        for rec in scan.records {
+            match rec {
+                WalRecord::Ingest {
+                    epoch,
+                    table,
+                    inserts,
+                    deletes,
+                } => {
+                    if epoch != wh.epoch + 1 {
+                        return Err(RecoveryError::Inconsistent(format!(
+                            "WAL ingest for epoch {epoch} arrived at engine epoch {}",
+                            wh.epoch
+                        ))
+                        .into());
+                    }
+                    wh.ingest(
+                        table,
+                        DeltaBatch {
+                            inserts: inserts.to_rows(),
+                            deletes: deletes.to_rows(),
+                        },
+                    )?;
+                }
+                WalRecord::EpochCommit { epoch } => {
+                    let report = wh.run_epoch()?;
+                    if report.epoch != epoch {
+                        return Err(RecoveryError::Inconsistent(format!(
+                            "replay reached epoch {} but the log committed epoch {epoch}",
+                            report.epoch
+                        ))
+                        .into());
+                    }
+                }
+            }
+        }
+
+        // Resume logging at the end of the surviving prefix (drops any
+        // torn tail bytes past it).
+        let wal = WalWriter::open_append(&wal_path, scan.valid_bytes)
+            .map_err(|e| WarehouseError::Durability(format!("reopening WAL: {e}")))?;
+        wh.recovered = Some(RecoveryInfo {
+            snapshot_epoch: manifest.snapshot_epoch,
+            recovered_epoch: wh.epoch,
+            replayed_records: replayed,
+            clean_wal: scan.stop.is_clean(),
+            wal_stop: scan.stop.to_string(),
+            selection_match,
+        });
+        wh.durability = Some(Durability {
+            dir,
+            wal,
+            wal_seq: manifest.wal_seq,
+            snapshot_epoch: manifest.snapshot_epoch,
+        });
+        Ok(wh)
+    }
+
+    /// True once `enable_wal` ran (or the engine was built by `recover`).
+    pub fn durability_enabled(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// How this engine came back from durable state, if it did.
+    pub fn recovery_info(&self) -> Option<&RecoveryInfo> {
+        self.recovered.as_ref()
+    }
+
+    /// One-line durability status (also part of `explain`).
+    pub fn durability_status(&self) -> String {
+        match self.durability.as_ref() {
+            None => "durability: off".to_string(),
+            Some(d) => format!(
+                "durability: {} segment {} (snapshot at epoch {}, {} WAL records / {} bytes since)",
+                d.dir.display(),
+                d.wal_seq,
+                d.snapshot_epoch,
+                d.wal.records_appended(),
+                d.wal.bytes_written(),
+            ),
+        }
+    }
+
+    // ==================================================================
     // Queries
     // ==================================================================
 
@@ -716,6 +1092,22 @@ impl Warehouse {
                 c.elapsed, i.elapsed
             ));
         }
+        out.push_str(&self.durability_status());
+        out.push('\n');
+        if let Some(info) = &self.recovered {
+            out.push_str(&format!(
+                "recovered: snapshot epoch {} -> epoch {} ({} WAL records replayed, {}; selection {})\n",
+                info.snapshot_epoch,
+                info.recovered_epoch,
+                info.replayed_records,
+                info.wal_stop,
+                if info.selection_match {
+                    "matches the saved session"
+                } else {
+                    "re-chosen"
+                },
+            ));
+        }
         out
     }
 
@@ -801,5 +1193,31 @@ impl Warehouse {
         }
         out.sort();
         out
+    }
+}
+
+/// Remove snapshot/WAL segments older than `keep_seq` — everything before
+/// the manifest's truncation point is unreachable by recovery. Best-effort:
+/// a prune failure never fails the checkpoint that made the files dead.
+fn prune_segments(dir: &Path, keep_seq: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let seq = name
+            .strip_prefix("snapshot-")
+            .and_then(|r| r.strip_suffix(".img"))
+            .or_else(|| {
+                name.strip_prefix("wal-")
+                    .and_then(|r| r.strip_suffix(".log"))
+            })
+            .and_then(|n| n.parse::<u64>().ok());
+        if let Some(seq) = seq {
+            if seq < keep_seq {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! view that was never registered all surface as [`WarehouseError`] and
 //! leave the engine fully usable.
 
-use mvmqo_storage::error::StorageError;
+use mvmqo_storage::error::{RecoveryError, StorageError};
 use std::fmt;
 
 /// Errors raised by the [`crate::Warehouse`] API.
@@ -19,6 +19,14 @@ pub enum WarehouseError {
     InvalidView { name: String, reason: String },
     /// A storage-layer failure (unknown table, malformed batch, ...).
     Storage(StorageError),
+    /// Loading durable state failed (missing manifest, corrupt snapshot,
+    /// unreadable files). A torn WAL tail is *not* an error — prefix
+    /// recovery absorbs it.
+    Recovery(RecoveryError),
+    /// Writing durable state (WAL append or snapshot) failed.
+    Durability(String),
+    /// A durability operation was requested but `wal on` was never issued.
+    DurabilityDisabled,
 }
 
 impl fmt::Display for WarehouseError {
@@ -32,6 +40,11 @@ impl fmt::Display for WarehouseError {
                 write!(f, "invalid view {name:?}: {reason}")
             }
             WarehouseError::Storage(e) => write!(f, "{e}"),
+            WarehouseError::Recovery(e) => write!(f, "{e}"),
+            WarehouseError::Durability(why) => write!(f, "durability failure: {why}"),
+            WarehouseError::DurabilityDisabled => {
+                f.write_str("durability is not enabled (run `wal on <dir>` first)")
+            }
         }
     }
 }
@@ -41,5 +54,11 @@ impl std::error::Error for WarehouseError {}
 impl From<StorageError> for WarehouseError {
     fn from(e: StorageError) -> Self {
         WarehouseError::Storage(e)
+    }
+}
+
+impl From<RecoveryError> for WarehouseError {
+    fn from(e: RecoveryError) -> Self {
+        WarehouseError::Recovery(e)
     }
 }

@@ -19,14 +19,19 @@
 //!   cost divergence;
 //! * [`script`] — a tiny script/REPL language over the TPC-D substrate so
 //!   new warehouse scenarios can be driven without writing Rust (the
-//!   `warehouse` binary).
+//!   `warehouse` binary);
+//! * [`durability`] — the engine's snapshot image: what `save` persists
+//!   (atomic columnar snapshot + manifest) and `recover` reloads before
+//!   replaying the WAL tail through the ordinary ingest/epoch path.
 
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod policy;
 pub mod script;
 
-pub use engine::{EpochReport, QueryResult, ReplanRecord, Warehouse};
+pub use durability::{SnapshotData, ViewMatImage};
+pub use engine::{EpochReport, QueryResult, RecoveryInfo, ReplanRecord, Warehouse};
 pub use error::WarehouseError;
 pub use mvmqo_core::session::PlanMode;
 pub use policy::{ReoptPolicy, ReoptTrigger};

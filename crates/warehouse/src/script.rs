@@ -14,6 +14,9 @@
 //! drop V
 //! explain                   # current plan, policy counters
 //! tables                    # stored relations and row counts
+//! wal on /tmp/wh            # enable durability (snapshot + WAL) in a dir
+//! save                      # checkpoint: new snapshot, truncate the WAL
+//! recover /tmp/wh           # rebuild the whole session from durable state
 //! ```
 //!
 //! Lines starting with `#` (and blank lines) are ignored, so scenario
@@ -80,6 +83,9 @@ impl Session {
             "explain" => Ok(self.warehouse.explain()),
             "tables" => Ok(self.cmd_tables()),
             "parallel" => self.cmd_parallel(&words),
+            "wal" => self.cmd_wal(&words),
+            "save" => self.cmd_save(),
+            "recover" => self.cmd_recover(&words),
             "help" => Ok(HELP.to_string()),
             other => Err(format!("unknown command {other:?} (try `help`)")),
         }
@@ -254,6 +260,47 @@ impl Session {
         Ok(format!(
             "epoch scheduler: {}",
             mvmqo_exec::scheduler_description(self.warehouse.parallel())
+        ))
+    }
+
+    /// `wal on DIR` — enable durability; bare `wal` reports the status.
+    fn cmd_wal(&mut self, words: &[&str]) -> Result<String, String> {
+        match words {
+            [_] => Ok(self.warehouse.durability_status()),
+            [_, "on", dir] => {
+                let snap = self.warehouse.enable_wal(dir).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "durability on: snapshot {} at epoch {}",
+                    snap.display(),
+                    self.warehouse.epoch()
+                ))
+            }
+            _ => Err("usage: wal [on DIR]".into()),
+        }
+    }
+
+    /// `save` — checkpoint: fresh snapshot + truncated WAL.
+    fn cmd_save(&mut self) -> Result<String, String> {
+        let snap = self.warehouse.save().map_err(|e| e.to_string())?;
+        Ok(format!(
+            "saved snapshot {} at epoch {}",
+            snap.display(),
+            self.warehouse.epoch()
+        ))
+    }
+
+    /// `recover DIR` — replace this session's engine with one rebuilt from
+    /// durable state (snapshot + WAL-tail replay).
+    fn cmd_recover(&mut self, words: &[&str]) -> Result<String, String> {
+        let [_, dir] = words else {
+            return Err("usage: recover DIR".into());
+        };
+        let wh = Warehouse::recover(dir).map_err(|e| e.to_string())?;
+        let info = wh.recovery_info().expect("recover sets info").clone();
+        self.warehouse = wh;
+        Ok(format!(
+            "recovered at epoch {} (snapshot epoch {}, {} WAL records replayed, {})",
+            info.recovered_epoch, info.snapshot_epoch, info.replayed_records, info.wal_stop
         ))
     }
 
@@ -448,6 +495,9 @@ commands:
   explain                   current plan, costs, re-optimization history
   tables                    stored relations and row counts
   parallel [on|off]         switch the epoch scheduler (default serial)
+  wal [on DIR]              enable durability (snapshot + WAL) / show status
+  save                      checkpoint: new snapshot, truncate the WAL
+  recover DIR               rebuild the session from durable state
   help                      this text
   # ...                     comment
 ";
@@ -584,6 +634,64 @@ mod tests {
         assert_eq!(s.exec_line("# a comment").unwrap(), "");
         assert_eq!(s.exec_line("   ").unwrap(), "");
         assert!(s.exec_line("help").unwrap().contains("commands"));
+    }
+
+    /// Self-cleaning scratch directory (the workspace has no tempfile
+    /// crate; durable state lands under the system temp dir).
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("mvmqo-script-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn wal_save_recover_commands_roundtrip() {
+        let tmp = TempDir::new("walcmd");
+        let dir = tmp.0.display().to_string();
+        let mut s = session();
+        s.exec_line("view locs = lineitem * orders * customer")
+            .unwrap();
+        assert!(s.exec_line("wal").unwrap().contains("off"));
+        let out = s.exec_line(&format!("wal on {dir}")).unwrap();
+        assert!(out.contains("durability on"), "{out}");
+        s.exec_line("ingest all 5").unwrap();
+        s.exec_line("epoch").unwrap();
+        let out = s.exec_line("save").unwrap();
+        assert!(out.contains("saved snapshot"), "{out}");
+        // Post-save activity lands in the WAL tail and must replay.
+        s.exec_line("ingest all 3").unwrap();
+        s.exec_line("epoch").unwrap();
+        let rows_before = s.exec_line("query locs").unwrap();
+
+        let mut s2 = session();
+        let out = s2.exec_line(&format!("recover {dir}")).unwrap();
+        assert!(out.contains("recovered at epoch 2"), "{out}");
+        assert_eq!(s2.exec_line("query locs").unwrap(), rows_before);
+        assert!(s2.exec_line("verify locs").unwrap().contains("consistent"));
+        let out = s2.exec_line("explain").unwrap();
+        assert!(out.contains("durability:"), "{out}");
+        assert!(out.contains("recovered:"), "{out}");
+    }
+
+    #[test]
+    fn save_requires_durability_enabled() {
+        let mut s = session();
+        let err = s.exec_line("save").unwrap_err();
+        assert!(err.contains("not enabled"), "{err}");
+        assert!(s.exec_line("recover /nonexistent-mvmqo-dir").is_err());
+        // Session still usable after durability errors.
+        s.exec_line("view ok = lineitem * orders").unwrap();
+        assert!(s.exec_line("query ok").is_ok());
     }
 
     #[test]

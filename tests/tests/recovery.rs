@@ -1,0 +1,763 @@
+//! Crash-recovery integration tests: the durability subsystem end to end.
+//!
+//! The headline property is **kill-anywhere recovery**: for a workload whose
+//! every ingest and epoch is WAL-logged, crashing at *any* byte offset of
+//! the log — record boundaries and torn mid-record writes alike — must
+//! recover an engine that is tuple-identical, for every base table and
+//! every view, to replaying the surviving record prefix from the snapshot
+//! state. Torn writes are produced through the [`FailpointFile`] shim, the
+//! same primitive a crash leaves behind: a clean prefix, then nothing.
+//!
+//! Alongside it: corruption tests (bit flips, zero-filled pages, truncated
+//! or corrupt snapshots) that must end in clean prefix recovery or a typed
+//! error — never a panic — and the warm-replan property: an engine built by
+//! `recover` re-plans incrementally against its rebuilt memo, not from a
+//! cold start.
+
+use mvmqo_integration_tests::{generate_deltas, small_world, SmallWorld};
+use mvmqo_relalg::agg::{AggFunc, AggSpec};
+use mvmqo_relalg::catalog::TableId;
+use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
+use mvmqo_relalg::logical::{LogicalExpr, ViewDef};
+use mvmqo_relalg::schema::AttrId;
+use mvmqo_relalg::tuple::{bag_eq_approx, Tuple};
+use mvmqo_relalg::types::Value;
+use mvmqo_storage::delta::DeltaBatch;
+use mvmqo_storage::error::RecoveryError;
+use mvmqo_storage::wal::{scan_wal_bytes, WalRecord};
+use mvmqo_storage::FailpointFile;
+use mvmqo_warehouse::{PlanMode, ReoptTrigger, Warehouse, WarehouseError};
+use proptest::prelude::*;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+// ======================================================================
+// Scratch directories (the workspace vendors no tempfile crate)
+// ======================================================================
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// Self-cleaning scratch directory under the system temp dir.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "mvmqo-recovery-{tag}-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Atomic snapshot/manifest writes must leave no `.tmp` behind, ever.
+fn assert_no_tmp_files(dir: &Path) {
+    for entry in std::fs::read_dir(dir).unwrap().flatten() {
+        let name = entry.file_name();
+        assert!(
+            !name.to_string_lossy().ends_with(".tmp"),
+            "leaked temp file {name:?} in {}",
+            dir.display()
+        );
+    }
+}
+
+// ======================================================================
+// The deterministic workload
+// ======================================================================
+
+fn attr(world: &SmallWorld, t: TableId, suffix: &str) -> AttrId {
+    world
+        .catalog
+        .table(t)
+        .schema
+        .attrs()
+        .iter()
+        .find(|a| a.name.ends_with(suffix))
+        .unwrap_or_else(|| panic!("no attr {suffix}"))
+        .id
+}
+
+/// A fresh engine over the deterministic small world with three views
+/// sharing subexpressions: a filtered two-way join, the full three-way
+/// join, and an aggregate (whose hidden per-group state must survive
+/// snapshots). Identical on every call — this *is* the snapshot state the
+/// kill-anywhere fixture starts from.
+fn engine_with_views() -> (SmallWorld, Warehouse) {
+    let w = small_world(8);
+    let mirror = small_world(8);
+    let mut wh = Warehouse::new(w.catalog, w.db);
+
+    let (a, b, c) = (mirror.a, mirror.b, mirror.c);
+    let join_ba = |world: &SmallWorld| {
+        LogicalExpr::join(
+            LogicalExpr::scan(b),
+            LogicalExpr::scan(a),
+            Predicate::from_conjuncts(vec![ScalarExpr::col_eq_col(
+                attr(world, b, ".a_id"),
+                attr(world, a, ".id"),
+            )]),
+        )
+    };
+    wh.register_view(ViewDef::new(
+        "filtered",
+        LogicalExpr::select(
+            join_ba(&mirror),
+            Predicate::from_expr(ScalarExpr::col_cmp_lit(
+                attr(&mirror, a, ".x"),
+                CmpOp::Lt,
+                Value::Int(12),
+            )),
+        ),
+    ))
+    .unwrap();
+    wh.register_view(ViewDef::new(
+        "threeway",
+        LogicalExpr::join(
+            LogicalExpr::scan(c),
+            join_ba(&mirror),
+            Predicate::from_conjuncts(vec![ScalarExpr::col_eq_col(
+                attr(&mirror, c, ".b_id"),
+                attr(&mirror, b, ".id"),
+            )]),
+        ),
+    ))
+    .unwrap();
+    let sum_out = wh.fresh_attr();
+    let cnt_out = wh.fresh_attr();
+    wh.register_view(ViewDef::new(
+        "totals",
+        LogicalExpr::aggregate(
+            LogicalExpr::join(
+                LogicalExpr::scan(c),
+                LogicalExpr::scan(b),
+                Predicate::from_conjuncts(vec![ScalarExpr::col_eq_col(
+                    attr(&mirror, c, ".b_id"),
+                    attr(&mirror, b, ".id"),
+                )]),
+            ),
+            vec![attr(&mirror, b, ".a_id")],
+            vec![
+                AggSpec::new(
+                    AggFunc::Sum,
+                    ScalarExpr::Col(attr(&mirror, c, ".v")),
+                    sum_out,
+                ),
+                AggSpec::new(
+                    AggFunc::Count,
+                    ScalarExpr::Col(attr(&mirror, c, ".v")),
+                    cnt_out,
+                ),
+            ],
+        ),
+    ))
+    .unwrap();
+    (mirror, wh)
+}
+
+/// Three rounds of referentially consistent deltas, each followed by an
+/// epoch. The mirror database tracks the engine so each round's deletes
+/// sample rows that actually exist.
+fn run_workload(mirror: &mut SmallWorld, wh: &mut Warehouse) {
+    for (round, pct) in [6.0, 4.0, 3.0].into_iter().enumerate() {
+        let ds = generate_deltas(mirror, pct, 1000 + round as u64);
+        for t in ds.tables().collect::<Vec<_>>() {
+            wh.ingest(t, ds.get(t).unwrap().clone()).unwrap();
+        }
+        wh.run_epoch().unwrap();
+        mirror.db.apply_all(&ds).unwrap();
+    }
+}
+
+// ======================================================================
+// The kill-anywhere fixture: one durable run, captured as bytes
+// ======================================================================
+
+/// File images of a durability directory captured after the workload, plus
+/// the WAL record boundaries. Built once; every kill position replays
+/// against copies of these bytes.
+struct Fixture {
+    /// Non-WAL files (MANIFEST, snapshot image) by name.
+    files: Vec<(String, Vec<u8>)>,
+    wal_name: String,
+    wal_bytes: Vec<u8>,
+    /// Byte offsets of every record boundary, 0 and EOF included.
+    boundaries: Vec<u64>,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let tmp = TempDir::new("fixture");
+        let (mut mirror, mut wh) = engine_with_views();
+        wh.enable_wal(tmp.path()).unwrap();
+        run_workload(&mut mirror, &mut wh);
+        assert_no_tmp_files(tmp.path());
+
+        let mut files = Vec::new();
+        let mut wal_name = String::new();
+        let mut wal_bytes = Vec::new();
+        for entry in std::fs::read_dir(tmp.path()).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(entry.path()).unwrap();
+            if name.starts_with("wal-") {
+                wal_name = name;
+                wal_bytes = bytes;
+            } else {
+                files.push((name, bytes));
+            }
+        }
+        assert!(!wal_name.is_empty(), "workload produced no WAL");
+
+        let scan = scan_wal_bytes(&wal_bytes);
+        assert!(scan.stop.is_clean());
+        // One commit per round plus the non-empty ingests (batches the
+        // engine accepted as 0 tuples are never logged).
+        let commits = scan
+            .records
+            .iter()
+            .filter(|r| matches!(r, WalRecord::EpochCommit { .. }))
+            .count();
+        assert_eq!(commits, 3, "one commit per workload round");
+        assert!(
+            scan.records.len() >= 8,
+            "workload too small to exercise torn writes: {} records",
+            scan.records.len()
+        );
+        let mut boundaries = vec![0u64];
+        let mut pos = 0u64;
+        for rec in &scan.records {
+            pos += 8 + rec.encode().len() as u64;
+            boundaries.push(pos);
+        }
+        assert_eq!(pos, wal_bytes.len() as u64);
+        Fixture {
+            files,
+            wal_name,
+            wal_bytes,
+            boundaries,
+        }
+    })
+}
+
+/// Materialize the fixture as a durability directory whose WAL is written
+/// through a [`FailpointFile`] killed at `kill_at` — the on-disk state an
+/// actual crash at that byte would leave.
+fn crashed_dir(fx: &Fixture, kill_at: u64, tag: &str) -> TempDir {
+    let tmp = TempDir::new(tag);
+    for (name, bytes) in &fx.files {
+        std::fs::write(tmp.path().join(name), bytes).unwrap();
+    }
+    let file = std::fs::File::create(tmp.path().join(&fx.wal_name)).unwrap();
+    let mut torn = FailpointFile::new(file, Some(kill_at));
+    torn.write_all(&fx.wal_bytes).unwrap();
+    torn.flush().unwrap();
+    assert_eq!(torn.persisted(), kill_at.min(fx.wal_bytes.len() as u64));
+    tmp
+}
+
+/// Ground truth for a crash at `kill_at`: a fresh engine in the snapshot
+/// state, fed the surviving record prefix through the ordinary
+/// ingest/epoch path.
+fn replay_prefix(fx: &Fixture, kill_at: u64) -> Warehouse {
+    let (_, mut wh) = engine_with_views();
+    let prefix = &fx.wal_bytes[..(kill_at as usize).min(fx.wal_bytes.len())];
+    for rec in scan_wal_bytes(prefix).records {
+        match rec {
+            WalRecord::Ingest {
+                table,
+                inserts,
+                deletes,
+                ..
+            } => {
+                wh.ingest(
+                    table,
+                    DeltaBatch {
+                        inserts: inserts.to_rows(),
+                        deletes: deletes.to_rows(),
+                    },
+                )
+                .unwrap();
+            }
+            WalRecord::EpochCommit { .. } => {
+                wh.run_epoch().unwrap();
+            }
+        }
+    }
+    wh
+}
+
+/// Tuple-identical equivalence: every base table and every view, as
+/// multisets, plus per-view consistency against recomputation.
+fn assert_engines_equivalent(got: &Warehouse, want: &Warehouse, context: &str) {
+    assert_eq!(got.epoch(), want.epoch(), "epoch mismatch ({context})");
+    assert_eq!(
+        got.pending_tuples(),
+        want.pending_tuples(),
+        "pending mismatch ({context})"
+    );
+    for def in want.catalog().tables() {
+        let rows =
+            |wh: &Warehouse| -> Vec<Tuple> { wh.database().base(def.id).unwrap().rows().to_vec() };
+        assert!(
+            bag_eq_approx(&rows(got), &rows(want), 1e-9),
+            "base table {} diverged ({context})",
+            def.name
+        );
+    }
+    for v in want.views() {
+        let g = got.query(&v.name).unwrap().rows;
+        let w = want.query(&v.name).unwrap().rows;
+        assert!(
+            bag_eq_approx(&g, &w, 1e-9),
+            "view {} diverged: {} vs {} rows ({context})",
+            v.name,
+            g.len(),
+            w.len()
+        );
+        assert!(
+            got.verify(&v.name).unwrap(),
+            "view {} inconsistent with recomputation ({context})",
+            v.name
+        );
+    }
+}
+
+fn check_kill_at(kill_at: u64) {
+    let fx = fixture();
+    let tmp = crashed_dir(fx, kill_at, "kill");
+    let recovered = Warehouse::recover(tmp.path())
+        .unwrap_or_else(|e| panic!("recovery failed for kill at byte {kill_at}: {e}"));
+    let expected = replay_prefix(fx, kill_at);
+    assert_engines_equivalent(&recovered, &expected, &format!("kill at byte {kill_at}"));
+
+    let info = recovered.recovery_info().unwrap();
+    let on_boundary = fx
+        .boundaries
+        .contains(&kill_at.min(fx.wal_bytes.len() as u64));
+    assert_eq!(
+        info.clean_wal, on_boundary,
+        "kill at byte {kill_at}: clean={} but boundary={}",
+        info.clean_wal, on_boundary
+    );
+    assert_no_tmp_files(tmp.path());
+}
+
+// ======================================================================
+// Headline: kill-anywhere recovery
+// ======================================================================
+
+/// Every record boundary, exhaustively — including byte 0 (crash before
+/// the first append) and EOF (no crash at all).
+#[test]
+fn every_record_boundary_recovers_exactly() {
+    let fx = fixture();
+    for &cut in &fx.boundaries {
+        check_kill_at(cut);
+    }
+}
+
+fn recovery_cases() -> u32 {
+    std::env::var("RECOVERY_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(recovery_cases()))]
+
+    /// Random kill offsets, most of them torn mid-record writes. Case
+    /// count is bounded by `RECOVERY_CASES` for the CI smoke job.
+    #[test]
+    fn kill_anywhere_matches_prefix_replay(frac in 0.0f64..1.0) {
+        let total = fixture().wal_bytes.len() as u64;
+        check_kill_at((frac * total as f64) as u64);
+    }
+}
+
+// ======================================================================
+// Corruption: clean prefix recovery or a typed error, never a panic
+// ======================================================================
+
+#[test]
+fn bit_flip_mid_wal_recovers_the_valid_prefix() {
+    let fx = fixture();
+    // Flip one payload bit inside the fifth record (second round's first
+    // ingest): everything before it must recover, everything after is lost.
+    let target = fx.boundaries[4] + 12;
+    let tmp = TempDir::new("bitflip");
+    for (name, bytes) in &fx.files {
+        std::fs::write(tmp.path().join(name), bytes).unwrap();
+    }
+    let mut bad = fx.wal_bytes.clone();
+    bad[target as usize] ^= 0x20;
+    std::fs::write(tmp.path().join(&fx.wal_name), &bad).unwrap();
+
+    let recovered = Warehouse::recover(tmp.path()).unwrap();
+    let info = recovered.recovery_info().unwrap();
+    assert!(!info.clean_wal);
+    assert_eq!(info.replayed_records, 4, "prefix must stop at the flip");
+    let expected = replay_prefix(fx, fx.boundaries[4]);
+    assert_engines_equivalent(&recovered, &expected, "bit flip");
+}
+
+#[test]
+fn zero_filled_page_after_the_log_recovers_everything() {
+    let fx = fixture();
+    let tmp = TempDir::new("zeropage");
+    for (name, bytes) in &fx.files {
+        std::fs::write(tmp.path().join(name), bytes).unwrap();
+    }
+    // Pre-allocated or zeroed space past the last record — common after a
+    // crash on filesystems that extend files before data lands.
+    let mut padded = fx.wal_bytes.clone();
+    padded.extend_from_slice(&[0u8; 4096]);
+    std::fs::write(tmp.path().join(&fx.wal_name), &padded).unwrap();
+
+    let recovered = Warehouse::recover(tmp.path()).unwrap();
+    let info = recovered.recovery_info().unwrap();
+    assert_eq!(
+        info.replayed_records,
+        fx.boundaries.len() - 1,
+        "all real records must survive"
+    );
+    assert!(!info.clean_wal);
+    assert!(info.wal_stop.contains("zero"), "{}", info.wal_stop);
+    let expected = replay_prefix(fx, fx.wal_bytes.len() as u64);
+    assert_engines_equivalent(&recovered, &expected, "zero page");
+}
+
+#[test]
+fn corrupt_or_truncated_snapshot_is_a_typed_error() {
+    let fx = fixture();
+    let (snap_name, snap_bytes) = fx
+        .files
+        .iter()
+        .find(|(n, _)| n.starts_with("snapshot-"))
+        .unwrap();
+
+    // Bit flip inside the snapshot body.
+    let tmp = TempDir::new("badsnap");
+    for (name, bytes) in &fx.files {
+        std::fs::write(tmp.path().join(name), bytes).unwrap();
+    }
+    std::fs::write(tmp.path().join(&fx.wal_name), &fx.wal_bytes).unwrap();
+    let mut bad = snap_bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x01;
+    std::fs::write(tmp.path().join(snap_name), &bad).unwrap();
+    let Err(err) = Warehouse::recover(tmp.path()) else {
+        panic!("recovery must fail");
+    };
+    assert!(
+        matches!(
+            &err,
+            WarehouseError::Recovery(RecoveryError::Corrupt { .. })
+        ),
+        "bit-flipped snapshot: {err}"
+    );
+
+    // Truncated snapshot (torn during the pre-rename write — the manifest
+    // should never point at one, but recovery must still not panic).
+    std::fs::write(
+        tmp.path().join(snap_name),
+        &snap_bytes[..snap_bytes.len() / 2],
+    )
+    .unwrap();
+    let Err(err) = Warehouse::recover(tmp.path()) else {
+        panic!("recovery must fail");
+    };
+    assert!(
+        matches!(
+            &err,
+            WarehouseError::Recovery(RecoveryError::Corrupt { .. })
+        ),
+        "truncated snapshot: {err}"
+    );
+}
+
+#[test]
+fn missing_or_corrupt_manifest_is_a_typed_error() {
+    let empty = TempDir::new("nomanifest");
+    let Err(err) = Warehouse::recover(empty.path()) else {
+        panic!("recovery must fail");
+    };
+    assert!(
+        matches!(
+            &err,
+            WarehouseError::Recovery(RecoveryError::MissingManifest(_))
+        ),
+        "empty dir: {err}"
+    );
+
+    let fx = fixture();
+    let tmp = TempDir::new("badmanifest");
+    for (name, bytes) in &fx.files {
+        let bytes = if name == "MANIFEST" {
+            let mut b = bytes.clone();
+            let last = b.len() - 1;
+            b[last] ^= 0xFF;
+            b
+        } else {
+            bytes.clone()
+        };
+        std::fs::write(tmp.path().join(name), bytes).unwrap();
+    }
+    std::fs::write(tmp.path().join(&fx.wal_name), &fx.wal_bytes).unwrap();
+    let Err(err) = Warehouse::recover(tmp.path()) else {
+        panic!("recovery must fail");
+    };
+    assert!(
+        matches!(
+            &err,
+            WarehouseError::Recovery(RecoveryError::Corrupt { .. })
+        ),
+        "corrupt manifest: {err}"
+    );
+}
+
+// ======================================================================
+// Warm resume: recovery re-plans incrementally, never from cold
+// ======================================================================
+
+#[test]
+fn recovery_after_save_resumes_warm_and_keeps_logging() {
+    let tmp = TempDir::new("warm");
+    let (mut mirror, mut wh) = engine_with_views();
+    wh.enable_wal(tmp.path()).unwrap();
+    run_workload(&mut mirror, &mut wh);
+    wh.save().unwrap();
+    // Old segment pair is dead after the checkpoint and must be pruned.
+    assert!(!tmp.path().join("wal-0.log").exists());
+    assert!(!tmp.path().join("snapshot-0.img").exists());
+
+    // A short WAL tail after the snapshot: one more round.
+    let ds = generate_deltas(&mirror, 3.0, 2000);
+    for t in ds.tables().collect::<Vec<_>>() {
+        wh.ingest(t, ds.get(t).unwrap().clone()).unwrap();
+    }
+    wh.run_epoch().unwrap();
+    mirror.db.apply_all(&ds).unwrap();
+    let epoch_before = wh.epoch();
+    drop(wh);
+
+    let mut recovered = Warehouse::recover(tmp.path()).unwrap();
+    let info = recovered.recovery_info().unwrap().clone();
+    assert_eq!(info.snapshot_epoch, 3);
+    assert_eq!(info.recovered_epoch, epoch_before);
+    assert!(
+        info.replayed_records >= 2,
+        "the tail holds at least one ingest + its commit: {info:?}"
+    );
+    assert!(info.clean_wal);
+    for v in recovered.views().to_vec() {
+        assert!(recovered.verify(&v.name).unwrap());
+    }
+
+    // The memo is warm: every view re-registration after the recovered
+    // session's first runs incrementally, and nothing falls back to the
+    // cold `Initial` path. (A replayed epoch may still rebuild the memo
+    // when the 2n update numbering changes — exactly as the live session
+    // would have.)
+    let replans = recovered.replans().to_vec();
+    assert!(replans.len() >= 3, "{replans:?}");
+    assert!(
+        replans
+            .iter()
+            .skip(1)
+            .filter(|r| matches!(r.trigger, ReoptTrigger::ViewSetChanged))
+            .all(|r| r.mode == PlanMode::Incremental),
+        "view re-registration must re-plan warm: {replans:?}"
+    );
+    assert!(
+        replans
+            .iter()
+            .skip(1)
+            .all(|r| !matches!(r.trigger, ReoptTrigger::Initial)),
+        "recovery must never re-enter the Initial cold path: {replans:?}"
+    );
+    let sum_out = recovered.fresh_attr();
+    let cnt_out = recovered.fresh_attr();
+    recovered
+        .register_view(ViewDef::new(
+            "totals2",
+            LogicalExpr::aggregate(
+                LogicalExpr::scan(mirror.c),
+                vec![attr(&mirror, mirror.c, ".b_id")],
+                vec![
+                    AggSpec::new(
+                        AggFunc::Sum,
+                        ScalarExpr::Col(attr(&mirror, mirror.c, ".v")),
+                        sum_out,
+                    ),
+                    AggSpec::new(
+                        AggFunc::Count,
+                        ScalarExpr::Col(attr(&mirror, mirror.c, ".v")),
+                        cnt_out,
+                    ),
+                ],
+            ),
+        ))
+        .unwrap();
+    let last = *recovered.replans().last().unwrap();
+    assert_eq!(last.trigger, ReoptTrigger::ViewSetChanged);
+    assert_eq!(
+        last.mode,
+        PlanMode::Incremental,
+        "post-recovery replan must be warm, not a cold rebuild"
+    );
+
+    // The recovered engine keeps logging into the same segment: another
+    // round survives a second recovery.
+    let ds = generate_deltas(&mirror, 2.0, 3000);
+    for t in ds.tables().collect::<Vec<_>>() {
+        recovered.ingest(t, ds.get(t).unwrap().clone()).unwrap();
+    }
+    recovered.run_epoch().unwrap();
+    let epoch_after = recovered.epoch();
+    let explain = recovered.explain();
+    assert!(explain.contains("durability:"), "{explain}");
+    assert!(explain.contains("recovered:"), "{explain}");
+    drop(recovered);
+
+    let again = Warehouse::recover(tmp.path()).unwrap();
+    assert_eq!(again.epoch(), epoch_after);
+    for v in again.views().to_vec() {
+        assert!(again.verify(&v.name).unwrap());
+    }
+    assert_no_tmp_files(tmp.path());
+}
+
+// ======================================================================
+// Column codec: round trips pinned on logical Batch equality
+// ======================================================================
+
+mod codec_roundtrip {
+    use super::*;
+    use mvmqo_relalg::batch::Batch;
+    use mvmqo_relalg::codec::{self, Dec, Enc};
+    use mvmqo_relalg::schema::{Attribute, Schema};
+    use mvmqo_relalg::types::DataType;
+
+    fn schema(types: &[DataType]) -> Schema {
+        Schema::new(
+            types
+                .iter()
+                .enumerate()
+                .map(|(i, dt)| Attribute {
+                    id: AttrId(i as u32),
+                    name: format!("t.c{i}"),
+                    data_type: *dt,
+                })
+                .collect(),
+        )
+    }
+
+    fn roundtrip(batch: &Batch) -> Batch {
+        let mut e = Enc::new();
+        codec::encode_batch(&mut e, batch);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = codec::decode_batch(&mut d).unwrap();
+        assert!(d.is_empty(), "trailing bytes after batch");
+        back
+    }
+
+    /// Every `DataType`, NULLs in every column, and a `Mixed` fallback
+    /// column (type-mismatched values), pinned on logical `Batch` equality.
+    #[test]
+    fn every_datatype_with_nulls_and_mixed_round_trips() {
+        let s = schema(&[
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Date,
+            DataType::Bool,
+            DataType::Int, // receives mixed values → Mixed fallback column
+        ]);
+        let rows: Vec<Tuple> = vec![
+            vec![
+                Value::Int(-7),
+                Value::Float(3.5),
+                Value::str("alpha"),
+                Value::Date(730),
+                Value::Bool(true),
+                Value::Int(1),
+            ],
+            vec![
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::str("not an int"),
+            ],
+            vec![
+                Value::Int(i64::MAX),
+                Value::Float(-0.0),
+                Value::str(""),
+                Value::Date(-1),
+                Value::Bool(false),
+                Value::Float(2.25),
+            ],
+        ];
+        let batch = Batch::from_rows(s, &rows);
+        assert_eq!(roundtrip(&batch), batch);
+        // And the decoded image yields the original tuples.
+        assert_eq!(roundtrip(&batch).to_rows(), rows);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let batch = Batch::empty(schema(&[DataType::Int, DataType::Str]));
+        assert_eq!(roundtrip(&batch), batch);
+    }
+
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        (0i64..1000).prop_map(|n| {
+            let v = n / 5 - 100;
+            match n % 5 {
+                0 => Value::Null,
+                1 => Value::Int(v),
+                2 => Value::Float(v as f64 / 4.0),
+                3 => Value::str(format!("s{v}")),
+                _ => Value::Bool(v % 2 == 0),
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random tuples (random types per cell, so columns degrade to
+        /// masks or `Mixed` as needed) survive the codec logically intact.
+        #[test]
+        fn random_batches_round_trip(cells in proptest::collection::vec(
+            proptest::collection::vec(value_strategy(), 3),
+            0..20,
+        )) {
+            let s = schema(&[DataType::Int, DataType::Float, DataType::Str]);
+            let batch = Batch::from_rows(s, &cells);
+            let back = roundtrip(&batch);
+            prop_assert_eq!(&back, &batch);
+            prop_assert_eq!(back.to_rows(), cells);
+        }
+    }
+}
