@@ -22,7 +22,9 @@
 //! ("Plan Cost (sec)") for NoGreedy vs Greedy across update percentages.
 
 use mvmqo_bench::exec_workloads::{
-    bag_fixture, exec_fixture, rows_agg, rows_join, run_agg, run_join, EpochFixture,
+    bag_fixture, columnar_agg_str, columnar_join_str, exec_fixture, rows_agg, rows_agg_str,
+    rows_join, rows_join_str, run_agg, run_agg_str, run_join, run_join_str, run_plan_threads,
+    str_batches, EpochFixture,
 };
 use mvmqo_bench::{
     format_series, run_point, run_series, temp_vs_perm, ExperimentConfig, Workload, PAPER_PERCENTS,
@@ -321,6 +323,40 @@ fn exec_bench(test_mode: bool) {
     // Pin correctness before timing.
     assert_eq!(run_join(&mut fixture), rows_join(&fixture));
     assert_eq!(run_agg(&mut fixture), rows_agg(&fixture));
+    assert_eq!(run_join_str(&mut fixture), rows_join_str(&fixture));
+    assert_eq!(run_agg_str(&mut fixture), rows_agg_str(&fixture));
+    // The morsel-parallel operator paths must agree with the serial
+    // reference exactly (here: output cardinality; the property suite
+    // pins full batch equality).
+    for threads in [2, 4] {
+        let join_plan = fixture.join_plan.clone();
+        let agg_plan = fixture.agg_plan.clone();
+        let join_str_plan = fixture.join_str_plan.clone();
+        assert_eq!(
+            run_plan_threads(&mut fixture, &join_plan, threads),
+            rows_join(&fixture)
+        );
+        assert_eq!(
+            run_plan_threads(&mut fixture, &agg_plan, threads),
+            rows_agg(&fixture)
+        );
+        assert_eq!(
+            run_plan_threads(&mut fixture, &join_str_plan, threads),
+            rows_join_str(&fixture)
+        );
+    }
+    // Dict-encoded and decoded plain-string inputs produce identical
+    // results through the same columnar kernels.
+    let (dim_dict, fact_dict) = str_batches(&fixture, true);
+    let (dim_plain, fact_plain) = str_batches(&fixture, false);
+    assert_eq!(
+        columnar_join_str(&dim_dict, &fact_dict, 2, 3),
+        columnar_join_str(&dim_plain, &fact_plain, 2, 3)
+    );
+    assert_eq!(
+        columnar_agg_str(&fact_dict, 2, 1),
+        columnar_agg_str(&fact_plain, 2, 1)
+    );
 
     // 15 reps for the operator micro-benches: 1-core container noise at
     // 5 reps swings medians by ±20%, which is larger than the effects the
@@ -367,6 +403,40 @@ fn exec_bench(test_mode: bool) {
         }
     });
 
+    // Dictionary-encoding axis: the same serial columnar kernels timed on
+    // dict-encoded vs decoded plain-string inputs (string join key /
+    // string group-by key) — the speedup the encoding buys on one thread.
+    let (dict_join_ms, plain_join_ms) = median_pair_ms(micro_reps, |dict| {
+        if dict {
+            columnar_join_str(&dim_dict, &fact_dict, 2, 3);
+        } else {
+            columnar_join_str(&dim_plain, &fact_plain, 2, 3);
+        }
+    });
+    let (dict_agg_ms, plain_agg_ms) = median_pair_ms(micro_reps, |dict| {
+        if dict {
+            columnar_agg_str(&fact_dict, 2, 1);
+        } else {
+            columnar_agg_str(&fact_plain, 2, 1);
+        }
+    });
+    // End-to-end engine runs of the string-keyed plans (dict-encoded
+    // storage) against their row-at-a-time baselines.
+    let (join_str_batch, join_str_rows) = median_pair_ms(micro_reps, |batch| {
+        if batch {
+            run_join_str(&mut fixture);
+        } else {
+            rows_join_str(&fixture);
+        }
+    });
+    let (agg_str_batch, agg_str_rows) = median_pair_ms(micro_reps, |batch| {
+        if batch {
+            run_agg_str(&mut fixture);
+        } else {
+            rows_agg_str(&fixture);
+        }
+    });
+
     let mut serial = EpochFixture::new(sf, false);
     serial.step(5.0); // setup epoch, untimed
     let epoch_serial = median_ms(3, || {
@@ -377,6 +447,21 @@ fn exec_bench(test_mode: bool) {
     let epoch_parallel = median_ms(3, || {
         parallel.step(5.0);
     });
+    // Threads axis: full epochs with the parallel scheduler's worker
+    // budget pinned at 1, 2, and 4 (forced on, so the morsel code path is
+    // measured even when the host has one hardware thread — the recorded
+    // numbers are only meaningful relative to `hardware_threads`).
+    let mut epoch_threads: Vec<(usize, f64)> = Vec::new();
+    if !test_mode {
+        for t in [1usize, 2, 4] {
+            let mut fx = EpochFixture::with_threads(sf, true, t);
+            fx.step(5.0);
+            let ms = median_ms(3, || {
+                fx.step(5.0);
+            });
+            epoch_threads.push((t, ms));
+        }
+    }
 
     println!(
         "hash join    : batch {join_batch:.1} ms vs rows {join_rows:.1} ms ({:.2}x)",
@@ -387,6 +472,19 @@ fn exec_bench(test_mode: bool) {
         agg_rows / agg_batch
     );
     println!("bag_minus    : batch {batch_minus_ms:.1} ms vs rows {bag_ms:.1} ms (100k tuples)");
+    println!(
+        "str join     : dict {dict_join_ms:.1} ms vs plain {plain_join_ms:.1} ms ({:.2}x); \
+         engine {join_str_batch:.1} ms vs rows {join_str_rows:.1} ms",
+        plain_join_ms / dict_join_ms
+    );
+    println!(
+        "str group-by : dict {dict_agg_ms:.1} ms vs plain {plain_agg_ms:.1} ms ({:.2}x); \
+         engine {agg_str_batch:.1} ms vs rows {agg_str_rows:.1} ms",
+        plain_agg_ms / dict_agg_ms
+    );
+    for (t, ms) in &epoch_threads {
+        println!("epoch sf{sf}  : {t} thread(s) {ms:.0} ms (forced parallel scheduler)");
+    }
     println!(
         "epoch sf{sf}  : serial {epoch_serial:.0} ms, parallel {epoch_parallel:.0} ms \
          ({:.2}x vs pre-PR {PRE_PR_EPOCH_SF01_MS:.0} ms, {:.2}x vs pre-vectorization \
@@ -420,12 +518,19 @@ fn exec_bench(test_mode: bool) {
     }
 
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads_json = epoch_threads
+        .iter()
+        .map(|(t, ms)| format!("\"{t}\": {ms:.2}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"generated_by\": \"figures exec-bench\",\n  \"units\": \"milliseconds, median\",\n  \"hardware_threads\": {threads},\n  \"hash_join\": {{\n    \"rows_baseline_ms\": {join_rows:.2},\n    \"batch_ms\": {join_batch:.2},\n    \"speedup_vs_rows\": {:.2},\n    \"pre_pr_ms\": {PRE_PR_HASH_JOIN_MS},\n    \"speedup_vs_pre_pr\": {:.2},\n    \"pre_vectorization_ms\": {PRE_VEC_HASH_JOIN_MS}\n  }},\n  \"aggregation\": {{\n    \"rows_baseline_ms\": {agg_rows:.2},\n    \"batch_ms\": {agg_batch:.2},\n    \"speedup_vs_rows\": {:.2},\n    \"pre_pr_ms\": {PRE_PR_AGGREGATION_MS},\n    \"speedup_vs_pre_pr\": {:.2},\n    \"pre_vectorization_ms\": {PRE_VEC_AGGREGATION_MS}\n  }},\n  \"bag_minus_100k\": {{\n    \"rows_ms\": {bag_ms:.2},\n    \"batch_minus_ms\": {batch_minus_ms:.2},\n    \"pre_pr_ms\": {PRE_PR_BAG_MINUS_MS}\n  }},\n  \"epoch\": {{\n    \"sf\": {sf},\n    \"update_percent\": 5.0,\n    \"workload\": \"five_join_views\",\n    \"serial_ms\": {epoch_serial:.2},\n    \"parallel_ms\": {epoch_parallel:.2},\n    \"pre_pr_ms\": {PRE_PR_EPOCH_SF01_MS},\n    \"speedup_vs_pre_pr\": {:.2},\n    \"pre_vectorization_ms\": {PRE_VEC_EPOCH_SF01_MS}\n  }}\n}}\n",
+        "{{\n  \"generated_by\": \"figures exec-bench\",\n  \"units\": \"milliseconds, median\",\n  \"hardware_threads\": {threads},\n  \"hash_join\": {{\n    \"rows_baseline_ms\": {join_rows:.2},\n    \"batch_ms\": {join_batch:.2},\n    \"speedup_vs_rows\": {:.2},\n    \"pre_pr_ms\": {PRE_PR_HASH_JOIN_MS},\n    \"speedup_vs_pre_pr\": {:.2},\n    \"pre_vectorization_ms\": {PRE_VEC_HASH_JOIN_MS},\n    \"fixture_note\": \"fact table gained a fourth (string) column for the dict benches; pre_pr_ms measured the narrower 3-column fixture\"\n  }},\n  \"aggregation\": {{\n    \"rows_baseline_ms\": {agg_rows:.2},\n    \"batch_ms\": {agg_batch:.2},\n    \"speedup_vs_rows\": {:.2},\n    \"pre_pr_ms\": {PRE_PR_AGGREGATION_MS},\n    \"speedup_vs_pre_pr\": {:.2},\n    \"pre_vectorization_ms\": {PRE_VEC_AGGREGATION_MS}\n  }},\n  \"bag_minus_100k\": {{\n    \"rows_ms\": {bag_ms:.2},\n    \"batch_minus_ms\": {batch_minus_ms:.2},\n    \"pre_pr_ms\": {PRE_PR_BAG_MINUS_MS}\n  }},\n  \"string_join\": {{\n    \"plain_ms\": {plain_join_ms:.2},\n    \"dict_ms\": {dict_join_ms:.2},\n    \"dict_speedup\": {:.2},\n    \"engine_ms\": {join_str_batch:.2},\n    \"rows_baseline_ms\": {join_str_rows:.2}\n  }},\n  \"string_aggregation\": {{\n    \"plain_ms\": {plain_agg_ms:.2},\n    \"dict_ms\": {dict_agg_ms:.2},\n    \"dict_speedup\": {:.2},\n    \"engine_ms\": {agg_str_batch:.2},\n    \"rows_baseline_ms\": {agg_str_rows:.2}\n  }},\n  \"epoch\": {{\n    \"sf\": {sf},\n    \"update_percent\": 5.0,\n    \"workload\": \"five_join_views\",\n    \"serial_ms\": {epoch_serial:.2},\n    \"parallel_ms\": {epoch_parallel:.2},\n    \"forced_parallel_threads_ms\": {{ {threads_json} }},\n    \"pre_pr_ms\": {PRE_PR_EPOCH_SF01_MS},\n    \"speedup_vs_pre_pr\": {:.2},\n    \"pre_vectorization_ms\": {PRE_VEC_EPOCH_SF01_MS}\n  }}\n}}\n",
         join_rows / join_batch,
         PRE_PR_HASH_JOIN_MS / join_batch,
         agg_rows / agg_batch,
         PRE_PR_AGGREGATION_MS / agg_batch,
+        plain_join_ms / dict_join_ms,
+        plain_agg_ms / dict_agg_ms,
         PRE_PR_EPOCH_SF01_MS / epoch_serial,
     );
     match std::fs::write("BENCH_exec.json", &json) {

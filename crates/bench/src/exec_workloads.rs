@@ -19,8 +19,10 @@ use mvmqo_core::dag::Dag;
 use mvmqo_core::plan::{PhysPlan, PlanNode};
 use mvmqo_exec::Runtime;
 use mvmqo_relalg::agg::{Accumulator, AggFunc, AggSpec};
+use mvmqo_relalg::batch::Batch;
 use mvmqo_relalg::catalog::{Catalog, ColumnSpec, TableId};
 use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
+use mvmqo_relalg::hash::{u64_map_with_capacity, U64Map};
 use mvmqo_relalg::tuple::{concat_tuples, Tuple};
 use mvmqo_relalg::types::{DataType, Value};
 use mvmqo_storage::database::Database;
@@ -39,6 +41,11 @@ pub struct ExecFixture {
     pub fact: TableId,
     pub join_plan: PhysPlan,
     pub agg_plan: PhysPlan,
+    /// Hash join keyed on the *string* columns (`dim.name = fact.dname`) —
+    /// the workload the dictionary encoding targets.
+    pub join_str_plan: PhysPlan,
+    /// Grouped aggregation keyed on the *string* column (`fact.pad`).
+    pub agg_str_plan: PhysPlan,
 }
 
 /// Tiny deterministic LCG so fixtures need no RNG dependency.
@@ -69,6 +76,7 @@ pub fn exec_fixture(dim_rows: usize, fact_rows: usize) -> ExecFixture {
             ColumnSpec::with_distinct("fk", DataType::Int, dim_rows as f64),
             ColumnSpec::with_range("val", DataType::Float, fact_rows as f64, (0.0, 1.0)),
             ColumnSpec::with_distinct("pad", DataType::Str, 997.0),
+            ColumnSpec::with_distinct("dname", DataType::Str, dim_rows as f64),
         ],
         fact_rows as f64,
         &["fk"],
@@ -88,10 +96,14 @@ pub fn exec_fixture(dim_rows: usize, fact_rows: usize) -> ExecFixture {
         .collect();
     let fact_data: Vec<Tuple> = (0..fact_rows)
         .map(|_| {
+            let fk = lcg(&mut seed) % dim_rows as u64;
             vec![
-                Value::Int((lcg(&mut seed) % dim_rows as u64) as i64),
+                Value::Int(fk as i64),
                 Value::Float((lcg(&mut seed) % 10_000) as f64 / 10_000.0),
                 Value::str(format!("p{}", lcg(&mut seed) % 997)),
+                // The string image of the foreign key, so the Str-keyed
+                // join produces exactly the Int-keyed join's matches.
+                Value::str(format!("d{fk}")),
             ]
         })
         .collect();
@@ -148,13 +160,62 @@ pub fn exec_fixture(dim_rows: usize, fact_rows: usize) -> ExecFixture {
         schema: agg_schema,
         node: PlanNode::HashAggregate {
             input: Box::new(PhysPlan {
-                schema: fact_schema,
+                schema: fact_schema.clone(),
                 node: PlanNode::ScanBase(fact),
             }),
             group_by: vec![fact_fk],
             aggs: vec![
                 AggSpec::new(AggFunc::Sum, ScalarExpr::Col(fact_val), sum_out),
                 AggSpec::new(AggFunc::Count, ScalarExpr::Col(fact_val), cnt_out),
+            ],
+        },
+    };
+
+    let dim_name = catalog.table(dim).attr("name");
+    let fact_dname = catalog.table(fact).attr("dname");
+    let fact_pad = catalog.table(fact).attr("pad");
+    let join_str_plan = PhysPlan {
+        schema: combined,
+        node: PlanNode::HashJoin {
+            build: Box::new(PhysPlan {
+                schema: dim_schema,
+                node: PlanNode::ScanBase(dim),
+            }),
+            probe: Box::new(PhysPlan {
+                schema: fact_schema.clone(),
+                node: PlanNode::ScanBase(fact),
+            }),
+            keys: vec![(dim_name, fact_dname)],
+            residual: Predicate::true_(),
+        },
+    };
+
+    let sum_out2 = catalog.fresh_attr();
+    let cnt_out2 = catalog.fresh_attr();
+    let agg_str_schema = mvmqo_relalg::schema::Schema::new(vec![
+        fact_schema.attr(fact_pad).unwrap().clone(),
+        mvmqo_relalg::schema::Attribute {
+            id: sum_out2,
+            name: "sum_val".into(),
+            data_type: DataType::Float,
+        },
+        mvmqo_relalg::schema::Attribute {
+            id: cnt_out2,
+            name: "cnt".into(),
+            data_type: DataType::Int,
+        },
+    ]);
+    let agg_str_plan = PhysPlan {
+        schema: agg_str_schema,
+        node: PlanNode::HashAggregate {
+            input: Box::new(PhysPlan {
+                schema: fact_schema,
+                node: PlanNode::ScanBase(fact),
+            }),
+            group_by: vec![fact_pad],
+            aggs: vec![
+                AggSpec::new(AggFunc::Sum, ScalarExpr::Col(fact_val), sum_out2),
+                AggSpec::new(AggFunc::Count, ScalarExpr::Col(fact_val), cnt_out2),
             ],
         },
     };
@@ -166,11 +227,19 @@ pub fn exec_fixture(dim_rows: usize, fact_rows: usize) -> ExecFixture {
         fact,
         join_plan,
         agg_plan,
+        join_str_plan,
+        agg_str_plan,
     }
 }
 
 /// Evaluate a plan through the engine's executor; returns output rows.
 pub fn run_plan(fixture: &mut ExecFixture, plan: &PhysPlan) -> usize {
+    run_plan_threads(fixture, plan, 1)
+}
+
+/// Evaluate a plan with an explicit morsel-parallel worker budget
+/// (`1` = the serial reference path).
+pub fn run_plan_threads(fixture: &mut ExecFixture, plan: &PhysPlan, threads: usize) -> usize {
     let dag = Dag::new();
     let deltas = DeltaSet::new();
     let mut rt = Runtime::new(
@@ -182,6 +251,7 @@ pub fn run_plan(fixture: &mut ExecFixture, plan: &PhysPlan) -> usize {
         BTreeMap::new(),
         HashMap::new(),
     );
+    rt.set_threads(threads);
     rt.eval(plan).len()
 }
 
@@ -260,6 +330,145 @@ pub fn rows_agg(fixture: &ExecFixture) -> usize {
     out.len()
 }
 
+/// The string-keyed hash join through the engine executor.
+pub fn run_join_str(fixture: &mut ExecFixture) -> usize {
+    let plan = fixture.join_str_plan.clone();
+    run_plan(fixture, &plan)
+}
+
+/// The string-grouped aggregation through the engine executor.
+pub fn run_agg_str(fixture: &mut ExecFixture) -> usize {
+    let plan = fixture.agg_str_plan.clone();
+    run_plan(fixture, &plan)
+}
+
+/// Row-at-a-time baseline of the string-keyed join (`dim.name = fact.dname`).
+pub fn rows_join_str(fixture: &ExecFixture) -> usize {
+    let dim_t = fixture.db.base(fixture.dim).expect("dim");
+    let fact_t = fixture.db.base(fixture.fact).expect("fact");
+    let mut table: HashMap<Value, Vec<&Tuple>> = HashMap::with_capacity(dim_t.len());
+    for row in dim_t.rows() {
+        table.entry(row[2].clone()).or_default().push(row);
+    }
+    let mut out: Vec<Tuple> = Vec::new();
+    for prow in fact_t.rows() {
+        if prow[3].is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&prow[3]) {
+            for brow in matches {
+                out.push(concat_tuples(brow, prow));
+            }
+        }
+    }
+    out.len()
+}
+
+/// Row-at-a-time baseline of the string-grouped aggregation (group `pad`).
+pub fn rows_agg_str(fixture: &ExecFixture) -> usize {
+    let fact_t = fixture.db.base(fixture.fact).expect("fact");
+    let mut groups: HashMap<Value, (f64, i64)> = HashMap::new();
+    for row in fact_t.rows() {
+        let acc = groups.entry(row[2].clone()).or_insert((0.0, 0));
+        if let Some(v) = row[1].as_f64() {
+            acc.0 += v;
+            acc.1 += 1;
+        }
+    }
+    groups.len()
+}
+
+/// The stored dim/fact images with their string columns either as the
+/// engine stores them (dictionary-encoded) or decoded back to plain `Str`
+/// vectors — the before/after axis of the dictionary-encoding benchmark.
+pub fn str_batches(fixture: &ExecFixture, dict: bool) -> (Batch, Batch) {
+    let dim_b = fixture.db.base(fixture.dim).expect("dim").batch().clone();
+    let fact_b = fixture.db.base(fixture.fact).expect("fact").batch().clone();
+    if dict {
+        (dim_b, fact_b)
+    } else {
+        (decode_batch(&dim_b), decode_batch(&fact_b))
+    }
+}
+
+fn decode_batch(b: &Batch) -> Batch {
+    let cols = (0..b.schema().len())
+        .map(|c| b.column(c).decode_dict())
+        .collect();
+    Batch::from_columns(b.schema().clone(), cols)
+}
+
+/// Serial columnar hash join on one key column — the engine's serial
+/// algorithm spelled out over the public batch API, so the *same code*
+/// can be timed against dictionary-encoded and plain string inputs.
+/// Returns the output row count (the full output batch is built).
+pub fn columnar_join_str(build: &Batch, probe: &Batch, bkey: usize, pkey: usize) -> usize {
+    let mut table: U64Map<Vec<u32>> = u64_map_with_capacity(build.num_rows());
+    for i in 0..build.num_rows() {
+        let phys = build.physical(i);
+        if build.any_null(phys, &[bkey]) {
+            continue;
+        }
+        table
+            .entry(build.hash_keys(phys, &[bkey]))
+            .or_default()
+            .push(phys);
+    }
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for i in 0..probe.num_rows() {
+        let phys = probe.physical(i);
+        if probe.any_null(phys, &[pkey]) {
+            continue;
+        }
+        if let Some(cands) = table.get(&probe.hash_keys(phys, &[pkey])) {
+            for &b in cands {
+                if build.keys_eq(b, &[bkey], probe, phys, &[pkey]) {
+                    pairs.push((b, phys));
+                }
+            }
+        }
+    }
+    let combined = build.schema().concat(probe.schema());
+    let positions: Vec<usize> = (0..combined.len()).collect();
+    Batch::gather_pairs(build, probe, &pairs, combined, &positions).num_rows()
+}
+
+/// Serial columnar hash group-by on one key column with SUM + COUNT —
+/// the generic hash-grouping algorithm over the public batch API, timed
+/// against dictionary-encoded and plain string inputs. Returns the group
+/// count.
+pub fn columnar_agg_str(batch: &Batch, key: usize, val: usize) -> usize {
+    let mut buckets: U64Map<Vec<(u32, usize)>> = u64_map_with_capacity(1024);
+    let mut reps: Vec<u32> = Vec::new();
+    let mut sums: Vec<f64> = Vec::new();
+    let mut counts: Vec<i64> = Vec::new();
+    for i in 0..batch.num_rows() {
+        let phys = batch.physical(i);
+        let bucket = buckets.entry(batch.hash_keys(phys, &[key])).or_default();
+        let gid = bucket
+            .iter()
+            .find(|&&(rep, _)| batch.keys_eq(rep, &[key], batch, phys, &[key]))
+            .map(|&(_, g)| g);
+        let g = match gid {
+            Some(g) => g,
+            None => {
+                let g = reps.len();
+                bucket.push((phys, g));
+                reps.push(phys);
+                sums.push(0.0);
+                counts.push(0);
+                g
+            }
+        };
+        if let Some(v) = batch.column(val).value(phys as usize).as_f64() {
+            sums[g] += v;
+            counts[g] += 1;
+        }
+    }
+    std::hint::black_box((&sums, &counts));
+    reps.len()
+}
+
 /// Multiset fixtures for the bag-operation microbenchmark.
 pub fn bag_fixture(n: usize) -> (Vec<Tuple>, Vec<Tuple>) {
     let mut seed = 17u64;
@@ -286,6 +495,14 @@ impl EpochFixture {
     /// Scale-factor `sf` database with the five-join-view workload
     /// registered; `parallel` selects the epoch scheduler.
     pub fn new(sf: f64, parallel: bool) -> EpochFixture {
+        EpochFixture::with_threads(sf, parallel, 0)
+    }
+
+    /// [`EpochFixture::new`] with the worker budget pinned to `threads`
+    /// (`0` = auto). A non-zero count forces the parallel scheduler on so
+    /// the threads axis measures the parallel code path even on a 1-core
+    /// host.
+    pub fn with_threads(sf: f64, parallel: bool, threads: usize) -> EpochFixture {
         let tpcd = tpcd_catalog(sf);
         let db = generate_database(&tpcd, 5);
         let mut warehouse = Warehouse::new(tpcd.catalog.clone(), db)
@@ -294,6 +511,10 @@ impl EpochFixture {
                 cost_ratio: 1e12,
             })
             .with_parallel(parallel);
+        warehouse.set_threads(threads);
+        if parallel && threads > 0 {
+            warehouse.set_force_parallel(true);
+        }
         for v in five_join_views(&tpcd) {
             warehouse.register_view(v).unwrap();
         }

@@ -79,6 +79,14 @@ pub struct ExecOptions {
     /// without it, the parallel≡serial property test is vacuous on
     /// single-core CI.
     pub force_parallel: bool,
+    /// Worker-thread budget for the epoch when `parallel` is on: root-level
+    /// workers across independent plans plus morsel-level workers inside
+    /// operators (partitioned join build/probe, partition-parallel grouped
+    /// aggregation, parallel filters and delta scans). `0` means "auto" —
+    /// use [`std::thread::available_parallelism`]. Ignored when `parallel`
+    /// is off; the serial path always runs with one thread and is the
+    /// reference the parallel path is property-tested against.
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
@@ -87,6 +95,7 @@ impl Default for ExecOptions {
             parallel: false,
             collect_view_rows: true,
             force_parallel: false,
+            threads: 0,
         }
     }
 }
@@ -102,6 +111,35 @@ impl ExecOptions {
             ..ExecOptions::default()
         }
     }
+
+    /// Parallel options pinned to an explicit worker count (`0` = auto).
+    pub fn parallel_with_threads(threads: usize) -> Self {
+        ExecOptions {
+            parallel: true,
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Resolve this option set to a concrete worker count for one epoch:
+    /// `1` when the scheduler is serial (or auto-disabled on a 1-thread
+    /// host and not forced), otherwise the explicit `threads` value or the
+    /// host's available parallelism for `0`/auto.
+    pub fn resolved_threads(&self) -> usize {
+        let parallel = if self.force_parallel {
+            self.parallel
+        } else {
+            effective_parallel(self.parallel)
+        };
+        if !parallel {
+            return 1;
+        }
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
 }
 
 /// Resolve a parallel-scheduler request against the host: with one
@@ -112,13 +150,19 @@ pub fn effective_parallel(requested: bool) -> bool {
 }
 
 /// One-line scheduler description for `explain`/CLI output, naming the
-/// auto-disable when it bites.
-pub fn scheduler_description(requested: bool) -> String {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    match (requested, effective_parallel(requested)) {
-        (false, _) => "serial".to_string(),
-        (true, true) => format!("parallel ({threads} threads)"),
-        (true, false) => "parallel requested, 1 thread available, running serial".to_string(),
+/// worker count the epoch will actually run with and the auto-disable when
+/// it bites.
+pub fn scheduler_description(options: ExecOptions) -> String {
+    if !options.parallel {
+        return "serial".to_string();
+    }
+    let threads = options.resolved_threads();
+    if threads > 1 {
+        format!("parallel ({threads} threads)")
+    } else if options.threads == 1 {
+        "parallel (1 thread)".to_string()
+    } else {
+        "parallel requested, 1 thread available, running serial".to_string()
     }
 }
 
@@ -195,7 +239,10 @@ pub fn execute_epoch_opts(
 ) -> ExecReport {
     // Resolve the scheduler once: a parallel request on a 1-thread host
     // runs serially (see `effective_parallel`) unless explicitly forced
-    // (tests covering the parallel path on single-core machines).
+    // (tests covering the parallel path on single-core machines), and the
+    // worker budget is pinned for the whole epoch so every phase sees the
+    // same thread count.
+    let threads = options.resolved_threads();
     let options = ExecOptions {
         parallel: if options.force_parallel {
             options.parallel
@@ -232,6 +279,9 @@ pub fn execute_epoch_opts(
         mat_indices,
         std::mem::take(state),
     );
+    if options.parallel {
+        rt.set_threads(threads);
+    }
 
     // ------------------------------------------------------------------
     // Setup: populate views and permanent extras on the OLD state. Under

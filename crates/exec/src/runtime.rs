@@ -471,6 +471,10 @@ pub struct Runtime<'a> {
     mat_indices: HashMap<EqId, Vec<AttrId>>,
     state: RuntimeState,
     delta_store: HashMap<(EqId, UpdateId), Batch>,
+    /// Worker-thread budget for plan evaluation (morsel-level parallelism
+    /// inside operators and root-level parallelism across independent
+    /// plans). `1` — the default — is the serial reference path.
+    threads: usize,
     /// Full results actually (re)computed this cycle — stays at zero for
     /// results served from a persisted [`RuntimeState`].
     pub full_builds: usize,
@@ -523,9 +527,24 @@ impl<'a> Runtime<'a> {
             mat_indices,
             state,
             delta_store: HashMap::new(),
+            threads: 1,
             full_builds: 0,
             meter: Meter::new(),
         }
+    }
+
+    /// Set the worker-thread budget for plan evaluation. `1` (the default)
+    /// runs every operator on its serial reference path; larger budgets
+    /// enable morsel-level parallelism inside scans, filters, hash joins,
+    /// and grouped aggregation, plus root-level parallelism across
+    /// independent plans of one scheduler level.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The current worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Hand the materialized state back to the caller (end of an epoch).
@@ -873,6 +892,7 @@ impl<'a> Runtime<'a> {
             deltas: self.deltas,
             mats: &self.state.mats,
             delta_store: &self.delta_store,
+            threads: self.threads,
         }
     }
 
@@ -948,6 +968,64 @@ pub(crate) struct EvalCtx<'r> {
     pub deltas: &'r DeltaSet,
     pub mats: &'r HashMap<EqId, StoredTable>,
     pub delta_store: &'r HashMap<(EqId, UpdateId), Batch>,
+    /// Worker-thread budget for morsel-level parallelism inside operators.
+    /// `1` is the serial reference path; parallel paths only engage past
+    /// [`MORSEL_ROWS`] input rows, and always produce results identical to
+    /// serial evaluation (morsel-order concatenation, hash-disjoint
+    /// partitions, key-sorted group output).
+    pub threads: usize,
+}
+
+/// Rows per morsel: the unit of intra-operator work distribution. Inputs at
+/// or below one morsel always run serially — below this size the scoped
+/// thread spawn costs more than the scan.
+pub(crate) const MORSEL_ROWS: usize = 1024;
+
+/// Split `0..n` into contiguous morsel ranges of at most [`MORSEL_ROWS`].
+fn morsel_ranges(n: usize) -> Vec<std::ops::Range<usize>> {
+    (0..n.div_ceil(MORSEL_ROWS))
+        .map(|m| m * MORSEL_ROWS..((m + 1) * MORSEL_ROWS).min(n))
+        .collect()
+}
+
+/// Run `task` over `count` independent work items on up to `workers` scoped
+/// threads; results come back indexed by item, so callers concatenating in
+/// item order get output independent of thread scheduling.
+fn run_indexed<T: Send>(
+    count: usize,
+    workers: usize,
+    task: impl Fn(usize) -> T + Sync,
+) -> Vec<Option<T>> {
+    let workers = workers.min(count).max(1);
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    if workers <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(task(i));
+        }
+        return slots;
+    }
+    let task = &task;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = w;
+                    while i < count {
+                        out.push((i, task(i)));
+                        i += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("morsel worker thread panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
 }
 
 impl EvalCtx<'_> {
@@ -967,7 +1045,21 @@ impl EvalCtx<'_> {
             PlanNode::ScanDelta { table, kind } => {
                 let rows = self.deltas.side(*table, *kind);
                 meter.charge_seq(self.model, rows.len(), plan.schema.row_width());
-                Batch::from_rows(plan.schema.clone(), rows)
+                if self.threads > 1 && rows.len() > MORSEL_ROWS {
+                    // Morsel-parallel row→column conversion; morsel-order
+                    // concatenation reproduces the serial batch exactly.
+                    let ranges = morsel_ranges(rows.len());
+                    let chunks = run_indexed(ranges.len(), self.threads, |m| {
+                        Batch::from_rows(plan.schema.clone(), &rows[ranges[m].clone()])
+                    });
+                    let mut out = Batch::empty(plan.schema.clone());
+                    for chunk in chunks.into_iter().flatten() {
+                        out.append(&chunk);
+                    }
+                    out
+                } else {
+                    Batch::from_rows(plan.schema.clone(), rows)
+                }
             }
             PlanNode::ReadMat(e) => {
                 let table = self
@@ -997,8 +1089,29 @@ impl EvalCtx<'_> {
                 let mut batch = self.eval(input, meter);
                 meter.charge_cpu(self.model, batch.num_rows());
                 let compiled = CompiledPredicate::compile(pred, batch.schema());
-                let mut scratch = Vec::new();
-                batch.filter(&compiled, &mut scratch);
+                let n = batch.num_rows();
+                if self.threads > 1 && n > MORSEL_ROWS {
+                    // Each morsel evaluates the predicate over its logical
+                    // row range; concatenating the kept physical positions
+                    // in morsel order rebuilds the exact serial selection.
+                    let ranges = morsel_ranges(n);
+                    let kept = run_indexed(ranges.len(), self.threads, |m| {
+                        let mut scratch = Vec::new();
+                        let mut keep = Vec::new();
+                        for i in ranges[m].clone() {
+                            let phys = batch.physical(i);
+                            if compiled.matches_at(&batch, phys, &mut scratch) {
+                                keep.push(phys);
+                            }
+                        }
+                        keep
+                    });
+                    let sel: Vec<u32> = kept.into_iter().flatten().flatten().collect();
+                    batch.set_selection(sel);
+                } else {
+                    let mut scratch = Vec::new();
+                    batch.filter(&compiled, &mut scratch);
+                }
                 batch
             }
             PlanNode::Project { input, attrs } => {
@@ -1142,44 +1255,21 @@ impl EvalCtx<'_> {
             .iter()
             .map(|(_, p)| probe.schema.position_of(*p).expect("probe key"))
             .collect();
-        // Hash table over the build side, keyed by the *hash* of the key
-        // columns at each position: hash once per row, no per-row key
-        // vector is ever allocated; candidate collisions are resolved by
-        // comparing key columns position-to-position.
-        let mut table: U64Map<Vec<u32>> = u64_map_with_capacity(build_b.num_rows());
-        for i in 0..build_b.num_rows() {
-            let phys = build_b.physical(i);
-            if build_b.any_null(phys, &bcols) {
-                continue; // NULL keys can never match a probe
-            }
-            table
-                .entry(build_b.hash_keys(phys, &bcols))
-                .or_default()
-                .push(phys);
-        }
         let combined = build.schema.concat(&probe.schema);
         let out_positions = positions_for(&combined, &plan.schema);
-        let mut pairs: Vec<(u32, u32)> = Vec::new();
-        for i in 0..probe_b.num_rows() {
-            let pphys = probe_b.physical(i);
-            if probe_b.any_null(pphys, &pcols) {
-                continue;
-            }
-            if let Some(cands) = table.get(&probe_b.hash_keys(pphys, &pcols)) {
-                for &bphys in cands {
-                    if build_b.keys_eq(bphys, &bcols, &probe_b, pphys, &pcols) {
-                        pairs.push((bphys, pphys));
-                    }
-                }
-            }
-        }
-        if !residual.is_true() {
-            let mut joined = Vec::with_capacity(combined.len());
-            pairs.retain(|&(b, p)| {
-                concat_row(&build_b, b, &probe_b, p, &mut joined);
-                residual.matches(&joined, &combined)
-            });
-        }
+        let pairs = if self.threads > 1 && build_b.num_rows() + probe_b.num_rows() > MORSEL_ROWS {
+            hash_join_pairs_parallel(
+                &build_b,
+                &bcols,
+                &probe_b,
+                &pcols,
+                residual,
+                &combined,
+                self.threads,
+            )
+        } else {
+            hash_join_pairs(&build_b, &bcols, &probe_b, &pcols, residual, &combined)
+        };
         meter.charge_cpu(
             self.model,
             build_b.num_rows() + probe_b.num_rows() + pairs.len(),
@@ -1420,34 +1510,24 @@ impl EvalCtx<'_> {
             .map(|g| input.schema.position_of(*g).expect("group attr"))
             .collect();
         let n = in_b.num_rows();
-        // Pass 1: group ids.
-        let mut buckets: U64Map<Vec<u32>> = u64_map_with_capacity(n.min(1 << 16));
-        let mut reps: Vec<u32> = Vec::new();
-        let mut gids: Vec<u32> = Vec::with_capacity(n);
-        for i in 0..n {
-            let phys = in_b.physical(i);
-            let h = in_b.hash_keys(phys, &key_cols);
-            let ids = buckets.entry(h).or_default();
-            let gid = match ids
-                .iter()
-                .copied()
-                .find(|&g| in_b.keys_eq(reps[g as usize], &key_cols, &in_b, phys, &key_cols))
-            {
-                Some(g) => g,
-                None => {
-                    let g = reps.len() as u32;
-                    reps.push(phys);
-                    ids.push(g);
-                    g
-                }
-            };
-            gids.push(gid);
+        if self.threads > 1 && n > MORSEL_ROWS {
+            return hash_aggregate_parallel(
+                plan,
+                &input.schema,
+                &in_b,
+                &key_cols,
+                aggs,
+                self.threads,
+            );
         }
+        let rows: Vec<u32> = (0..n).map(|i| in_b.physical(i)).collect();
+        // Pass 1: group ids, assigned in first-occurrence order.
+        let (reps, gids) = group_ids(&in_b, &key_cols, &rows);
         let ngroups = reps.len();
         // Pass 2: one typed kernel per aggregate.
         let agg_columns: Vec<Column> = aggs
             .iter()
-            .map(|spec| agg_kernel(&in_b, &input.schema, spec, &gids, ngroups))
+            .map(|spec| agg_kernel(&in_b, &input.schema, spec, &rows, &gids, ngroups))
             .collect();
         // Deterministic output order: groups sorted by key (keys are unique
         // per group, so this matches the old full-row sort).
@@ -1500,6 +1580,266 @@ impl EvalCtx<'_> {
     }
 }
 
+/// Serial hash-join pair computation: hash table over the build side keyed
+/// by the *hash* of the key columns at each position — hash once per row,
+/// no per-row key vector is ever allocated; candidate collisions are
+/// resolved by comparing key columns position-to-position.
+fn hash_join_pairs(
+    build_b: &Batch,
+    bcols: &[usize],
+    probe_b: &Batch,
+    pcols: &[usize],
+    residual: &Predicate,
+    combined: &Schema,
+) -> Vec<(u32, u32)> {
+    let mut table: U64Map<Vec<u32>> = u64_map_with_capacity(build_b.num_rows());
+    for i in 0..build_b.num_rows() {
+        let phys = build_b.physical(i);
+        if build_b.any_null(phys, bcols) {
+            continue; // NULL keys can never match a probe
+        }
+        table
+            .entry(build_b.hash_keys(phys, bcols))
+            .or_default()
+            .push(phys);
+    }
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for i in 0..probe_b.num_rows() {
+        let pphys = probe_b.physical(i);
+        if probe_b.any_null(pphys, pcols) {
+            continue;
+        }
+        if let Some(cands) = table.get(&probe_b.hash_keys(pphys, pcols)) {
+            for &bphys in cands {
+                if build_b.keys_eq(bphys, bcols, probe_b, pphys, pcols) {
+                    pairs.push((bphys, pphys));
+                }
+            }
+        }
+    }
+    if !residual.is_true() {
+        let mut joined = Vec::with_capacity(combined.len());
+        pairs.retain(|&(b, p)| {
+            concat_row(build_b, b, probe_b, p, &mut joined);
+            residual.matches(&joined, combined)
+        });
+    }
+    pairs
+}
+
+/// Morsel-parallel hash-join pair computation, identical output to
+/// [`hash_join_pairs`]:
+///
+/// 1. build-side key hashes are computed in parallel by morsel;
+/// 2. the build table is hash-partitioned — one worker per partition
+///    inserts its rows in global scan order, so per-bucket candidate order
+///    matches the serial build (equal keys share a hash, hence a partition);
+/// 3. probe morsels run in parallel, each probing the partition its row's
+///    hash selects; concatenating emitted pairs in morsel order reproduces
+///    the serial probe order exactly.
+fn hash_join_pairs_parallel(
+    build_b: &Batch,
+    bcols: &[usize],
+    probe_b: &Batch,
+    pcols: &[usize],
+    residual: &Predicate,
+    combined: &Schema,
+    threads: usize,
+) -> Vec<(u32, u32)> {
+    let nb = build_b.num_rows();
+    // Phase 1: per-row build hashes (NULL keys flagged; they match nothing).
+    let branges = morsel_ranges(nb);
+    let bh_chunks = run_indexed(branges.len(), threads, |m| {
+        branges[m]
+            .clone()
+            .map(|i| {
+                let phys = build_b.physical(i);
+                if build_b.any_null(phys, bcols) {
+                    (phys, 0u64, true)
+                } else {
+                    (phys, build_b.hash_keys(phys, bcols), false)
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    let bh: Vec<(u32, u64, bool)> = bh_chunks.into_iter().flatten().flatten().collect();
+    // Phase 2: hash-partitioned build, one worker per partition. Each
+    // partition walks the precomputed hashes in scan order, so within any
+    // bucket the candidate order equals the serial build's.
+    let nparts = threads.max(1);
+    let tables = run_indexed(nparts, threads, |p| {
+        let mut t: U64Map<Vec<u32>> = u64_map_with_capacity(nb / nparts + 1);
+        for &(phys, h, null) in &bh {
+            if !null && (h % nparts as u64) as usize == p {
+                t.entry(h).or_default().push(phys);
+            }
+        }
+        t
+    });
+    let tables: Vec<U64Map<Vec<u32>>> = tables.into_iter().flatten().collect();
+    // Phase 3: parallel probe by morsel; morsel-order concatenation.
+    let pranges = morsel_ranges(probe_b.num_rows());
+    let residual_live = !residual.is_true();
+    let chunks = run_indexed(pranges.len(), threads, |m| {
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut joined = Vec::with_capacity(combined.len());
+        for i in pranges[m].clone() {
+            let pphys = probe_b.physical(i);
+            if probe_b.any_null(pphys, pcols) {
+                continue;
+            }
+            let h = probe_b.hash_keys(pphys, pcols);
+            if let Some(cands) = tables[(h % nparts as u64) as usize].get(&h) {
+                for &bphys in cands {
+                    if build_b.keys_eq(bphys, bcols, probe_b, pphys, pcols) {
+                        if residual_live {
+                            concat_row(build_b, bphys, probe_b, pphys, &mut joined);
+                            if !residual.matches(&joined, combined) {
+                                continue;
+                            }
+                        }
+                        pairs.push((bphys, pphys));
+                    }
+                }
+            }
+        }
+        pairs
+    });
+    chunks.into_iter().flatten().flatten().collect()
+}
+
+/// Group-id assignment over an explicit physical row list: one id per row,
+/// ids issued in first-occurrence order; returns `(reps, gids)` with one
+/// representative physical position per group.
+///
+/// A single dict-encoded key column short-circuits the hash table entirely:
+/// dictionary entries are unique, so code equality *is* key equality and a
+/// flat `code → gid` array replaces hashing and collision probing (NULLs —
+/// masked rows — form their own group, exactly as `keys_eq` groups them).
+fn group_ids(in_b: &Batch, key_cols: &[usize], rows: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut reps: Vec<u32> = Vec::new();
+    let mut gids: Vec<u32> = Vec::with_capacity(rows.len());
+    if let [kc] = key_cols {
+        let col = in_b.column(*kc);
+        if let Some((codes, dict)) = col.dict() {
+            let mut code_gid: Vec<u32> = vec![u32::MAX; dict.len()];
+            let mut null_gid = u32::MAX;
+            for &phys in rows {
+                let p = phys as usize;
+                let slot = if col.is_null(p) {
+                    &mut null_gid
+                } else {
+                    &mut code_gid[codes[p] as usize]
+                };
+                if *slot == u32::MAX {
+                    *slot = reps.len() as u32;
+                    reps.push(phys);
+                }
+                gids.push(*slot);
+            }
+            return (reps, gids);
+        }
+    }
+    let mut buckets: U64Map<Vec<u32>> = u64_map_with_capacity(rows.len().min(1 << 16));
+    for &phys in rows {
+        let h = in_b.hash_keys(phys, key_cols);
+        let ids = buckets.entry(h).or_default();
+        let gid = match ids
+            .iter()
+            .copied()
+            .find(|&g| in_b.keys_eq(reps[g as usize], key_cols, in_b, phys, key_cols))
+        {
+            Some(g) => g,
+            None => {
+                let g = reps.len() as u32;
+                reps.push(phys);
+                ids.push(g);
+                g
+            }
+        };
+        gids.push(gid);
+    }
+    (reps, gids)
+}
+
+/// Partition-parallel grouped aggregation, output identical to the serial
+/// path: rows are hash-partitioned by group key (equal keys land in one
+/// partition, so groups never straddle workers), each partition groups and
+/// runs the typed kernels over its rows in global scan order, and the final
+/// merge sorts all groups by key — the same unique-key sort the serial path
+/// emits.
+fn hash_aggregate_parallel(
+    plan: &PhysPlan,
+    input_schema: &Schema,
+    in_b: &Batch,
+    key_cols: &[usize],
+    aggs: &[AggSpec],
+    threads: usize,
+) -> Batch {
+    let n = in_b.num_rows();
+    // Phase 1: per-row key hashes, parallel by morsel.
+    let ranges = morsel_ranges(n);
+    let hashed = run_indexed(ranges.len(), threads, |m| {
+        ranges[m]
+            .clone()
+            .map(|i| {
+                let phys = in_b.physical(i);
+                (phys, in_b.hash_keys(phys, key_cols))
+            })
+            .collect::<Vec<_>>()
+    });
+    let hashed: Vec<(u32, u64)> = hashed.into_iter().flatten().flatten().collect();
+    // Phase 2: one worker per hash partition — group assignment plus every
+    // aggregate kernel over that partition's rows (in global scan order, so
+    // per-group accumulation order matches serial exactly).
+    let nparts = threads.max(1);
+    let parts = run_indexed(nparts, threads, |p| {
+        let rows: Vec<u32> = hashed
+            .iter()
+            .filter(|&&(_, h)| (h % nparts as u64) as usize == p)
+            .map(|&(phys, _)| phys)
+            .collect();
+        let (reps, gids) = group_ids(in_b, key_cols, &rows);
+        let ngroups = reps.len();
+        let cols: Vec<Column> = aggs
+            .iter()
+            .map(|spec| agg_kernel(in_b, input_schema, spec, &rows, &gids, ngroups))
+            .collect();
+        (reps, cols)
+    });
+    let parts: Vec<(Vec<u32>, Vec<Column>)> = parts.into_iter().flatten().collect();
+    // Merge: groups are disjoint across partitions; sort them all by key.
+    let mut order: Vec<(usize, u32)> = parts
+        .iter()
+        .enumerate()
+        .flat_map(|(p, (reps, _))| (0..reps.len() as u32).map(move |g| (p, g)))
+        .collect();
+    order.sort_by(|&(pa, ga), &(pb, gb)| {
+        in_b.cmp_keys(
+            parts[pa].0[ga as usize],
+            key_cols,
+            in_b,
+            parts[pb].0[gb as usize],
+            key_cols,
+        )
+    });
+    let rep_order: Vec<u32> = order.iter().map(|&(p, g)| parts[p].0[g as usize]).collect();
+    let nkeys = key_cols.len();
+    debug_assert_eq!(plan.schema.len(), nkeys + aggs.len());
+    let mut columns: Vec<Column> = key_cols
+        .iter()
+        .map(|&c| in_b.column(c).gather(&rep_order))
+        .collect();
+    for (k, attr) in plan.schema.attrs().iter().enumerate().skip(nkeys) {
+        let mut out = Column::with_capacity(attr.data_type, order.len());
+        for &(p, g) in &order {
+            out.push(&parts[p].1[k - nkeys].value(g as usize));
+        }
+        columns.push(out);
+    }
+    Batch::from_columns(plan.schema.clone(), columns)
+}
+
 /// One aggregate's columnar update kernel: walk the input column once,
 /// updating typed per-group state vectors, and emit the result column.
 /// Falls back to per-group [`Accumulator`]s for `Mixed` columns, general
@@ -1509,16 +1849,18 @@ fn agg_kernel(
     in_b: &Batch,
     schema: &Schema,
     spec: &AggSpec,
+    rows: &[u32],
     gids: &[u32],
     ngroups: usize,
 ) -> Column {
     use mvmqo_relalg::agg::AggFunc;
+    debug_assert_eq!(rows.len(), gids.len());
     let col_pos = match &spec.input {
         ScalarExpr::Col(id) => schema.position_of(*id),
         _ => None,
     };
     let Some(pos) = col_pos else {
-        return agg_fallback(in_b, schema, spec, gids, ngroups);
+        return agg_fallback(in_b, schema, spec, rows, gids, ngroups);
     };
     let col = in_b.column(pos);
     match (spec.func, col.data()) {
@@ -1526,7 +1868,7 @@ fn agg_kernel(
             // COUNT is nullness-only: typed for every physical layout.
             let mut counts = vec![0i64; ngroups];
             for (i, &g) in gids.iter().enumerate() {
-                let phys = in_b.physical(i) as usize;
+                let phys = rows[i] as usize;
                 if !col.is_null(phys) {
                     counts[g as usize] += 1;
                 }
@@ -1548,7 +1890,7 @@ fn agg_kernel(
             match col.data() {
                 ColumnData::Int(v) => {
                     for (i, &g) in gids.iter().enumerate() {
-                        let phys = in_b.physical(i) as usize;
+                        let phys = rows[i] as usize;
                         if !col.is_null(phys) {
                             sums[g as usize] += v[phys] as f64;
                             counts[g as usize] += 1;
@@ -1557,7 +1899,7 @@ fn agg_kernel(
                 }
                 ColumnData::Float(v) => {
                     for (i, &g) in gids.iter().enumerate() {
-                        let phys = in_b.physical(i) as usize;
+                        let phys = rows[i] as usize;
                         if !col.is_null(phys) {
                             sums[g as usize] += v[phys];
                             counts[g as usize] += 1;
@@ -1566,7 +1908,7 @@ fn agg_kernel(
                 }
                 ColumnData::Date(v) => {
                     for (i, &g) in gids.iter().enumerate() {
-                        let phys = in_b.physical(i) as usize;
+                        let phys = rows[i] as usize;
                         if !col.is_null(phys) {
                             sums[g as usize] += v[phys] as f64;
                             counts[g as usize] += 1;
@@ -1598,8 +1940,8 @@ fn agg_kernel(
             out
         }
         (AggFunc::Min | AggFunc::Max, ColumnData::Int(_)) => min_max_prim::<i64>(
-            in_b,
             col,
+            rows,
             gids,
             ngroups,
             spec.func == AggFunc::Min,
@@ -1612,8 +1954,8 @@ fn agg_kernel(
             Value::Int,
         ),
         (AggFunc::Min | AggFunc::Max, ColumnData::Date(_)) => min_max_prim::<i32>(
-            in_b,
             col,
+            rows,
             gids,
             ngroups,
             spec.func == AggFunc::Min,
@@ -1626,8 +1968,8 @@ fn agg_kernel(
             Value::Date,
         ),
         (AggFunc::Min | AggFunc::Max, ColumnData::Bool(_)) => min_max_prim::<bool>(
-            in_b,
             col,
+            rows,
             gids,
             ngroups,
             spec.func == AggFunc::Min,
@@ -1640,8 +1982,8 @@ fn agg_kernel(
             Value::Bool,
         ),
         (AggFunc::Min | AggFunc::Max, ColumnData::Float(_)) => min_max_prim::<f64>(
-            in_b,
             col,
+            rows,
             gids,
             ngroups,
             spec.func == AggFunc::Min,
@@ -1653,30 +1995,35 @@ fn agg_kernel(
             DataType::Float,
             Value::Float,
         ),
-        (AggFunc::Min | AggFunc::Max, ColumnData::Str(_)) => {
+        (AggFunc::Min | AggFunc::Max, ColumnData::Str(_) | ColumnData::Dict { .. }) => {
             let is_min = spec.func == AggFunc::Min;
             let mut best: Vec<Option<std::sync::Arc<str>>> = vec![None; ngroups];
-            let ColumnData::Str(v) = col.data() else {
-                unreachable!()
+            let at = |p: usize| -> &std::sync::Arc<str> {
+                match col.data() {
+                    ColumnData::Str(v) => &v[p],
+                    ColumnData::Dict { codes, dict } => dict.value(codes[p]),
+                    _ => unreachable!(),
+                }
             };
             for (i, &g) in gids.iter().enumerate() {
-                let phys = in_b.physical(i) as usize;
+                let phys = rows[i] as usize;
                 if col.is_null(phys) {
                     continue;
                 }
+                let v = at(phys);
                 let slot = &mut best[g as usize];
                 let better = match slot {
                     None => true,
                     Some(b) => {
                         if is_min {
-                            v[phys] < *b
+                            *v < *b
                         } else {
-                            v[phys] > *b
+                            *v > *b
                         }
                     }
                 };
                 if better {
-                    *slot = Some(v[phys].clone());
+                    *slot = Some(v.clone());
                 }
             }
             let mut out = Column::with_capacity(DataType::Str, ngroups);
@@ -1685,15 +2032,15 @@ fn agg_kernel(
             }
             out
         }
-        _ => agg_fallback(in_b, schema, spec, gids, ngroups),
+        _ => agg_fallback(in_b, schema, spec, rows, gids, ngroups),
     }
 }
 
 /// Shared typed MIN/MAX loop over a primitive payload.
 #[allow(clippy::too_many_arguments)]
 fn min_max_prim<T: Copy + Default>(
-    in_b: &Batch,
     col: &Column,
+    rows: &[u32],
     gids: &[u32],
     ngroups: usize,
     is_min: bool,
@@ -1705,7 +2052,7 @@ fn min_max_prim<T: Copy + Default>(
     let mut best = vec![T::default(); ngroups];
     let mut has = vec![false; ngroups];
     for (i, &g) in gids.iter().enumerate() {
-        let phys = in_b.physical(i) as usize;
+        let phys = rows[i] as usize;
         if col.is_null(phys) {
             continue;
         }
@@ -1737,6 +2084,7 @@ fn agg_fallback(
     in_b: &Batch,
     schema: &Schema,
     spec: &AggSpec,
+    rows: &[u32],
     gids: &[u32],
     ngroups: usize,
 ) -> Column {
@@ -1747,7 +2095,7 @@ fn agg_fallback(
     let mut accs: Vec<Accumulator> = (0..ngroups).map(|_| Accumulator::new(spec.func)).collect();
     let mut scratch = Vec::new();
     for (i, &g) in gids.iter().enumerate() {
-        let phys = in_b.physical(i);
+        let phys = rows[i];
         let v = match col_pos {
             Some(c) => in_b.column(c).value(phys as usize),
             None => {
@@ -1784,8 +2132,12 @@ fn concat_row(left: &Batch, l: u32, right: &Batch, r: u32, buf: &mut Vec<Value>)
 // ======================================================================
 
 /// Evaluate several plans concurrently against one prepared runtime state.
-/// Spawns at most 16 scoped worker threads; results come back in plan
-/// order, each with its own meter so charges can be absorbed
+/// The worker count comes from the runtime's configured thread budget
+/// ([`Runtime::set_threads`], surfaced as `ExecOptions::threads`), not from
+/// a hard-coded cap: a single plan gets the whole budget for morsel-level
+/// parallelism inside its operators, while multiple independent roots split
+/// the budget between root workers and intra-operator morsels. Results come
+/// back in plan order, each with its own meter so charges can be absorbed
 /// deterministically by the caller.
 pub(crate) fn eval_parallel(rt: &Runtime<'_>, plans: &[&PhysPlan]) -> Vec<(Batch, Meter)> {
     if plans.is_empty() {
@@ -1796,11 +2148,14 @@ pub(crate) fn eval_parallel(rt: &Runtime<'_>, plans: &[&PhysPlan]) -> Vec<(Batch
         let b = rt.eval_ctx().eval(plans[0], &mut m);
         return vec![(b, m)];
     }
-    let ctx = rt.eval_ctx();
-    // No more workers than plans, hardware threads, or 16 — spawning past
-    // the core count only buys context-switch overhead.
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let workers = plans.len().min(16).min(cores.max(1));
+    let threads = rt.threads().max(1);
+    let workers = plans.len().min(threads);
+    // Whatever budget is not consumed by root-level workers flows down into
+    // each plan's operators as morsel parallelism.
+    let ctx = EvalCtx {
+        threads: (threads / workers).max(1),
+        ..rt.eval_ctx()
+    };
     let mut slots: Vec<Option<(Batch, Meter)>> = (0..plans.len()).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)

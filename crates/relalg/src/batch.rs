@@ -14,7 +14,7 @@
 //! with the row-at-a-time reference executor.
 
 use crate::expr::{CmpOp, Predicate, ScalarExpr};
-use crate::hash::{u64_map_with_capacity, U64Map};
+use crate::hash::{str_hash, u64_map_with_capacity, U64Map};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::types::{DataType, Value};
@@ -22,12 +22,80 @@ use std::cmp::Ordering;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+/// Interned string dictionary backing [`ColumnData::Dict`] columns.
+///
+/// Entries are unique (interning dedups), each carries its precomputed
+/// [`str_hash`] image, and an internal hash index makes `intern`/`code_of`
+/// O(1) amortized. The dictionary sits behind an `Arc` on the column, so
+/// gathers and clones share it; mutation (interning during append) clones
+/// it copy-on-write only when actually shared.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<Arc<str>>,
+    hashes: Vec<u64>,
+    /// `str_hash` → codes with that hash (collision bucket).
+    index: U64Map<Vec<u32>>,
+}
+
+impl Dictionary {
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The string behind `code`.
+    pub fn value(&self, code: u32) -> &Arc<str> {
+        &self.values[code as usize]
+    }
+
+    /// Precomputed [`str_hash`] of the string behind `code`.
+    pub fn hash(&self, code: u32) -> u64 {
+        self.hashes[code as usize]
+    }
+
+    /// All entries, in code order.
+    pub fn values(&self) -> &[Arc<str>] {
+        &self.values
+    }
+
+    /// The code of `s`, if interned. Because entries are unique, equal
+    /// codes ⇔ equal strings for codes of the same dictionary.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        let h = str_hash(s);
+        self.index
+            .get(&h)?
+            .iter()
+            .copied()
+            .find(|&c| &*self.values[c as usize] == s)
+    }
+
+    /// Intern `s`, returning its (possibly new) code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        let h = str_hash(s);
+        let bucket = self.index.entry(h).or_default();
+        if let Some(&c) = bucket.iter().find(|&&c| &*self.values[c as usize] == s) {
+            return c;
+        }
+        let c = u32::try_from(self.values.len()).expect("dictionary overflow");
+        bucket.push(c);
+        self.values.push(Arc::from(s));
+        self.hashes.push(h);
+        c
+    }
+}
+
 /// Physical storage of one column's values.
 ///
-/// Typed vectors are the fast path; [`ColumnData::Mixed`] is the safety
-/// net for columns whose runtime values stray from the declared type
-/// (e.g. integral SUM outputs flowing through a FLOAT schema slot) and
-/// keeps semantics identical to row execution.
+/// Typed vectors are the fast path; [`ColumnData::Dict`] stores strings as
+/// `u32` codes into a shared interned [`Dictionary`] so string-keyed
+/// hashing, equality, and grouping run as integer loops;
+/// [`ColumnData::Mixed`] is the safety net for columns whose runtime
+/// values stray from the declared type (e.g. integral SUM outputs flowing
+/// through a FLOAT schema slot) and keeps semantics identical to row
+/// execution.
 #[derive(Debug, Clone)]
 pub enum ColumnData {
     Int(Vec<i64>),
@@ -35,6 +103,10 @@ pub enum ColumnData {
     Str(Vec<Arc<str>>),
     Date(Vec<i32>),
     Bool(Vec<bool>),
+    Dict {
+        codes: Vec<u32>,
+        dict: Arc<Dictionary>,
+    },
     Mixed(Vec<Value>),
 }
 
@@ -66,7 +138,18 @@ impl ColumnData {
             ColumnData::Str(v) => v.len(),
             ColumnData::Date(v) => v.len(),
             ColumnData::Bool(v) => v.len(),
+            ColumnData::Dict { codes, .. } => codes.len(),
             ColumnData::Mixed(v) => v.len(),
+        }
+    }
+
+    /// Borrow the string at `i` when this is a string-bearing payload
+    /// (`Str` or `Dict`), regardless of representation.
+    fn str_ref(&self, i: usize) -> Option<&str> {
+        match self {
+            ColumnData::Str(v) => Some(&v[i]),
+            ColumnData::Dict { codes, dict } => Some(dict.value(codes[i])),
+            _ => None,
         }
     }
 
@@ -89,6 +172,20 @@ impl ColumnData {
                     })
                     .collect()
             }
+            ColumnData::Dict { codes, dict } => {
+                let null_at = |i: usize| nulls.as_ref().is_some_and(|n| n[i]);
+                codes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        if null_at(i) {
+                            Value::Null
+                        } else {
+                            Value::Str(Arc::clone(dict.value(c)))
+                        }
+                    })
+                    .collect()
+            }
             ColumnData::Mixed(v) => v,
             other => other.to_mixed(nulls.as_deref()),
         }
@@ -107,6 +204,9 @@ impl ColumnData {
                     ColumnData::Str(v) => Value::Str(v[i].clone()),
                     ColumnData::Date(v) => Value::Date(v[i]),
                     ColumnData::Bool(v) => Value::Bool(v[i]),
+                    ColumnData::Dict { codes, dict } => {
+                        Value::Str(Arc::clone(dict.value(codes[i])))
+                    }
                     ColumnData::Mixed(v) => v[i].clone(),
                 }
             }
@@ -202,6 +302,9 @@ impl Column {
             (ColumnData::Str(c), Value::Str(x)) => c.push(x.clone()),
             (ColumnData::Date(c), Value::Date(x)) => c.push(*x),
             (ColumnData::Bool(c), Value::Bool(x)) => c.push(*x),
+            (ColumnData::Dict { codes, dict }, Value::Str(x)) => {
+                codes.push(Arc::make_mut(dict).intern(x));
+            }
             (ColumnData::Mixed(c), v) => c.push(v.clone()),
             (data, Value::Null) if !matches!(data, ColumnData::Mixed(_)) => {
                 // NULL in a typed column: default payload + mask bit.
@@ -211,6 +314,9 @@ impl Column {
                     ColumnData::Str(c) => c.push(Arc::from("")),
                     ColumnData::Date(c) => c.push(0),
                     ColumnData::Bool(c) => c.push(false),
+                    ColumnData::Dict { codes, dict } => {
+                        codes.push(Arc::make_mut(dict).intern(""));
+                    }
                     ColumnData::Mixed(_) => unreachable!(),
                 }
                 self.set_null_tail();
@@ -243,13 +349,16 @@ impl Column {
             ColumnData::Str(v) => Value::Str(v[i].clone()),
             ColumnData::Date(v) => Value::Date(v[i]),
             ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Dict { codes, dict } => Value::Str(Arc::clone(dict.value(codes[i]))),
             ColumnData::Mixed(v) => v[i].clone(),
         }
     }
 
     /// Hash the value at `i` exactly as [`Value::hash`] would (so `Int(2)`
     /// and `Float(2.0)` collide, NULL has its own tag) — the contract the
-    /// borrowed-key hash join relies on.
+    /// borrowed-key hash join relies on. Strings hash through their
+    /// canonical [`str_hash`] image, which `Dict` columns replay from the
+    /// precomputed per-entry hash without touching string bytes.
     pub fn hash_value<H: Hasher>(&self, i: usize, state: &mut H) {
         if self.is_null(i) {
             state.write_u8(4);
@@ -266,7 +375,11 @@ impl Column {
             }
             ColumnData::Str(v) => {
                 state.write_u8(3);
-                v[i].hash(state);
+                state.write_u64(str_hash(&v[i]));
+            }
+            ColumnData::Dict { codes, dict } => {
+                state.write_u8(3);
+                state.write_u64(dict.hash(codes[i]));
             }
             ColumnData::Date(v) => {
                 state.write_u8(2);
@@ -289,12 +402,15 @@ impl Column {
             (false, true) => return Ordering::Less,
             (false, false) => {}
         }
+        if let (Some(a), Some(b)) = (self.data.str_ref(i), other.data.str_ref(j)) {
+            // Covers every Str/Dict combination in one arm.
+            return a.cmp(b);
+        }
         match (&self.data, &other.data) {
             (ColumnData::Int(a), ColumnData::Int(b)) => a[i].cmp(&b[j]),
             (ColumnData::Float(a), ColumnData::Float(b)) => a[i].total_cmp(&b[j]),
             (ColumnData::Int(a), ColumnData::Float(b)) => (a[i] as f64).total_cmp(&b[j]),
             (ColumnData::Float(a), ColumnData::Int(b)) => a[i].total_cmp(&(b[j] as f64)),
-            (ColumnData::Str(a), ColumnData::Str(b)) => a[i].cmp(&b[j]),
             (ColumnData::Date(a), ColumnData::Date(b)) => a[i].cmp(&b[j]),
             (ColumnData::Bool(a), ColumnData::Bool(b)) => a[i].cmp(&b[j]),
             _ => self.value(i).cmp(&other.value(j)),
@@ -302,8 +418,19 @@ impl Column {
     }
 
     /// Equality with [`Value`] semantics (`Int`/`Float` numeric equality,
-    /// NULL equal only to NULL — the grouping behaviour).
+    /// NULL equal only to NULL — the grouping behaviour). Two columns
+    /// sharing one dictionary compare by integer code alone.
     pub fn eq_at(&self, i: usize, other: &Column, j: usize) -> bool {
+        if let (ColumnData::Dict { codes: a, dict: da }, ColumnData::Dict { codes: b, dict: db }) =
+            (&self.data, &other.data)
+        {
+            if Arc::ptr_eq(da, db) {
+                // Interned entries are unique, so code equality ⇔ string
+                // equality; only the NULL mask still matters.
+                let (ni, nj) = (self.is_null(i), other.is_null(j));
+                return if ni || nj { ni && nj } else { a[i] == b[j] };
+            }
+        }
         self.cmp_at(i, other, j) == Ordering::Equal
     }
 
@@ -324,6 +451,9 @@ impl Column {
             (ColumnData::Int(a), Value::Float(b)) => (a[i] as f64).total_cmp(b),
             (ColumnData::Float(a), Value::Int(b)) => a[i].total_cmp(&(*b as f64)),
             (ColumnData::Str(a), Value::Str(b)) => a[i].as_ref().cmp(b.as_ref()),
+            (ColumnData::Dict { codes, dict }, Value::Str(b)) => {
+                dict.value(codes[i]).as_ref().cmp(b.as_ref())
+            }
             (ColumnData::Date(a), Value::Date(b)) => a[i].cmp(b),
             (ColumnData::Bool(a), Value::Bool(b)) => a[i].cmp(b),
             _ => self.value(i).cmp(v),
@@ -347,6 +477,10 @@ impl Column {
                 ColumnData::Bool(v) => {
                     ColumnData::Bool(idx.iter().map(|&i| v[i as usize]).collect())
                 }
+                ColumnData::Dict { codes, dict } => ColumnData::Dict {
+                    codes: idx.iter().map(|&i| codes[i as usize]).collect(),
+                    dict: Arc::clone(dict),
+                },
                 ColumnData::Mixed(v) => {
                     ColumnData::Mixed(idx.iter().map(|&i| v[i as usize].clone()).collect())
                 }
@@ -381,11 +515,70 @@ impl Column {
             (ColumnData::Bool(a), ColumnData::Bool(b)) if no_nulls => {
                 a.extend(idx.iter().map(|&i| b[i as usize]))
             }
+            (
+                ColumnData::Dict { codes, dict },
+                ColumnData::Dict {
+                    codes: bc,
+                    dict: bd,
+                },
+            ) if no_nulls => {
+                if Arc::ptr_eq(dict, bd) {
+                    codes.extend(idx.iter().map(|&i| bc[i as usize]));
+                } else {
+                    let d = Arc::make_mut(dict);
+                    codes.extend(idx.iter().map(|&i| d.intern(bd.value(bc[i as usize]))));
+                }
+            }
+            (ColumnData::Dict { codes, dict }, ColumnData::Str(b)) if no_nulls => {
+                let d = Arc::make_mut(dict);
+                codes.extend(idx.iter().map(|&i| d.intern(&b[i as usize])));
+            }
             _ => {
                 for &i in idx {
                     self.push(&other.value(i as usize));
                 }
             }
+        }
+    }
+
+    /// The code vector and dictionary, when this column is dict-encoded —
+    /// the hook for code-space kernels (equality filters, group-by,
+    /// MIN/MAX) in higher layers.
+    pub fn dict(&self) -> Option<(&[u32], &Arc<Dictionary>)> {
+        match &self.data {
+            ColumnData::Dict { codes, dict } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Dictionary-encode a plain `Str` column; any other representation
+    /// (including already-encoded) is returned as a clone. NULL positions
+    /// intern the empty string and keep their mask bit.
+    pub fn dict_encode(&self) -> Column {
+        let ColumnData::Str(v) = &self.data else {
+            return self.clone();
+        };
+        let mut dict = Dictionary::default();
+        let codes = v.iter().map(|s| dict.intern(s)).collect();
+        Column {
+            data: ColumnData::Dict {
+                codes,
+                dict: Arc::new(dict),
+            },
+            nulls: self.nulls.clone(),
+        }
+    }
+
+    /// Decode a dict column back to plain `Str` values (identity clone for
+    /// every other representation) — the transparent fallback for code that
+    /// wants direct `Arc<str>` vectors.
+    pub fn decode_dict(&self) -> Column {
+        let ColumnData::Dict { codes, dict } = &self.data else {
+            return self.clone();
+        };
+        Column {
+            data: ColumnData::Str(codes.iter().map(|&c| Arc::clone(dict.value(c))).collect()),
+            nulls: self.nulls.clone(),
         }
     }
 }
@@ -509,15 +702,51 @@ impl Batch {
     /// Zero-copy filter by a compiled predicate: the selection vector is
     /// rebuilt, values are never moved. `scratch` is a reusable row buffer
     /// for non-columnar conjuncts.
+    ///
+    /// Equality conjuncts against dict-encoded string columns run in code
+    /// space: the literal is resolved to a code once, then the scan is a
+    /// `u32` compare per row with no string bytes touched.
     pub fn filter(&mut self, pred: &CompiledPredicate, scratch: &mut Vec<Value>) {
-        let columns = &self.columns;
-        let schema = &self.schema;
-        let mut test = |p: u32| pred.matches_cols(columns, schema, p, scratch);
-        let sel = match self.sel.take() {
-            Some(s) => s.into_iter().filter(|&p| test(p)).collect(),
-            None => (0..self.rows as u32).filter(|&p| test(p)).collect(),
-        };
-        self.sel = Some(sel);
+        let rows = self.rows;
+        let mut sel = self.sel.take();
+        let mut slow: Vec<&Conjunct> = Vec::new();
+        for c in &pred.conjuncts {
+            if let Conjunct::ColLit {
+                col,
+                op: CmpOp::Eq,
+                lit: Value::Str(s),
+            } = c
+            {
+                if let Some((codes, dict)) = self.columns[*col].dict() {
+                    let target = dict.code_of(s);
+                    let nulls = self.columns[*col].null_mask();
+                    let keep = |p: u32| {
+                        let i = p as usize;
+                        target == Some(codes[i]) && !nulls.is_some_and(|n| n[i])
+                    };
+                    sel = Some(match sel.take() {
+                        Some(s) => s.into_iter().filter(|&p| keep(p)).collect(),
+                        None => (0..rows as u32).filter(|&p| keep(p)).collect(),
+                    });
+                    continue;
+                }
+            }
+            slow.push(c);
+        }
+        if !slow.is_empty() || sel.is_none() {
+            let columns = &self.columns;
+            let schema = &self.schema;
+            let mut test = |p: u32| {
+                let mut filled = false;
+                slow.iter()
+                    .all(|c| c.holds_at(columns, schema, p, scratch, &mut filled))
+            };
+            sel = Some(match sel.take() {
+                Some(s) => s.into_iter().filter(|&p| test(p)).collect(),
+                None => (0..rows as u32).filter(|&p| test(p)).collect(),
+            });
+        }
+        self.sel = sel;
     }
 
     /// Fill `scratch` with the physical row `phys` (reusable row buffer for
@@ -802,6 +1031,29 @@ impl Batch {
         }
     }
 
+    /// Dictionary-encode every plain `Str` column (the storage-image
+    /// representation). Non-string, already-encoded, and `Mixed` columns
+    /// are reference-shared untouched.
+    pub fn dict_encoded(&self) -> Batch {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                if matches!(c.data(), ColumnData::Str(_)) {
+                    Arc::new(c.dict_encode())
+                } else {
+                    Arc::clone(c)
+                }
+            })
+            .collect();
+        Batch {
+            schema: self.schema.clone(),
+            columns,
+            rows: self.rows,
+            sel: self.sel.clone(),
+        }
+    }
+
     /// Hash the key columns of physical row `phys` ([`Value::hash`]
     /// semantics, so cross-typed equal keys collide as required). Folded
     /// with the internal fast hasher — every consumer pairs this with a
@@ -949,33 +1201,45 @@ impl CompiledPredicate {
         scratch: &mut Vec<Value>,
     ) -> bool {
         let mut scratch_filled = false;
-        for c in &self.conjuncts {
-            let ok = match c {
-                Conjunct::Never => false,
-                Conjunct::ColLit { col, op, lit } => {
-                    let column = &columns[*col];
-                    !column.is_null(phys as usize) && op.holds(column.cmp_value(phys as usize, lit))
+        self.conjuncts
+            .iter()
+            .all(|c| c.holds_at(columns, schema, phys, scratch, &mut scratch_filled))
+    }
+}
+
+impl Conjunct {
+    /// Evaluate one conjunct at a physical position. `scratch_filled`
+    /// tracks whether `scratch` already holds this row (shared across the
+    /// conjuncts of one row).
+    fn holds_at(
+        &self,
+        columns: &[Arc<Column>],
+        schema: &Schema,
+        phys: u32,
+        scratch: &mut Vec<Value>,
+        scratch_filled: &mut bool,
+    ) -> bool {
+        match self {
+            Conjunct::Never => false,
+            Conjunct::ColLit { col, op, lit } => {
+                let column = &columns[*col];
+                !column.is_null(phys as usize) && op.holds(column.cmp_value(phys as usize, lit))
+            }
+            Conjunct::ColCol { l, op, r } => {
+                let (cl, cr) = (&columns[*l], &columns[*r]);
+                !cl.is_null(phys as usize)
+                    && !cr.is_null(phys as usize)
+                    && op.holds(cl.cmp_at(phys as usize, cr, phys as usize))
+            }
+            Conjunct::General(e) => {
+                if !*scratch_filled {
+                    scratch.clear();
+                    scratch.extend(columns.iter().map(|c| c.value(phys as usize)));
+                    *scratch_filled = true;
                 }
-                Conjunct::ColCol { l, op, r } => {
-                    let (cl, cr) = (&columns[*l], &columns[*r]);
-                    !cl.is_null(phys as usize)
-                        && !cr.is_null(phys as usize)
-                        && op.holds(cl.cmp_at(phys as usize, cr, phys as usize))
-                }
-                Conjunct::General(e) => {
-                    if !scratch_filled {
-                        scratch.clear();
-                        scratch.extend(columns.iter().map(|c| c.value(phys as usize)));
-                        scratch_filled = true;
-                    }
-                    e.eval(scratch, schema) == Value::Bool(true)
-                }
-            };
-            if !ok {
-                return false;
+                e.eval(scratch, schema) == Value::Bool(true)
             }
         }
-        true
     }
 }
 
@@ -1253,5 +1517,73 @@ mod tests {
         assert_eq!(b.column(0).cmp_value(0, &Value::Int(1)), Ordering::Greater);
         assert_eq!(b.column(0).cmp_value(1, &Value::Null), Ordering::Equal);
         assert_eq!(b.column(0).cmp_value(1, &Value::Int(5)), Ordering::Greater);
+    }
+
+    /// A string column with NULLs and duplicates: `(plain Str rows)`
+    /// alongside its dict-encoded image.
+    fn str_pair() -> (Batch, Batch, Vec<Tuple>) {
+        let s = schema(&[(0, DataType::Str), (1, DataType::Int)]);
+        let rows: Vec<Tuple> = (0i64..40)
+            .map(|i| {
+                vec![
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::str(format!("v{}", i % 5))
+                    },
+                    Value::Int(i),
+                ]
+            })
+            .collect();
+        let plain = Batch::from_rows(s, &rows);
+        let dict = plain.dict_encoded();
+        (plain, dict, rows)
+    }
+
+    #[test]
+    fn dict_encode_decode_round_trips_with_unique_entries() {
+        let (plain, dict, rows) = str_pair();
+        // Logical equality is representation-independent.
+        assert_eq!(&dict, &plain);
+        assert_eq!(dict.to_rows(), rows);
+        let (codes, d) = dict.column(0).dict().expect("encoded");
+        assert_eq!(codes.len(), 40);
+        // Entries unique: code equality ⇔ string equality.
+        let mut seen = std::collections::HashSet::new();
+        assert!(d.values().iter().all(|v| seen.insert(v.clone())));
+        // Decoding restores a plain Str column with identical values.
+        let decoded = dict.column(0).decode_dict();
+        assert!(matches!(decoded.data(), ColumnData::Str(_)));
+        assert_eq!(&decoded, plain.column(0));
+    }
+
+    #[test]
+    fn dict_hashes_match_plain_string_hashes() {
+        let (plain, dict, _) = str_pair();
+        for i in 0..plain.num_rows() {
+            let mut hp = crate::hash::FxHasher::default();
+            let mut hd = crate::hash::FxHasher::default();
+            plain.column(0).hash_value(i, &mut hp);
+            dict.column(0).hash_value(i, &mut hd);
+            assert_eq!(hp.finish(), hd.finish(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn dict_filter_fast_path_matches_plain_filter() {
+        let (plain, dict, _) = str_pair();
+        let pred = CompiledPredicate::compile(
+            &Predicate::from_expr(ScalarExpr::col_cmp_lit(AttrId(0), CmpOp::Eq, "v3")),
+            plain.schema(),
+        );
+        let mut scratch = Vec::new();
+        let mut fp = plain.clone();
+        fp.filter(&pred, &mut scratch);
+        let mut fd = dict.clone();
+        fd.filter(&pred, &mut scratch);
+        assert!(fp.num_rows() > 0, "fixture must select something");
+        assert_eq!(&fd, &fp);
+        // NULL rows never match an equality conjunct, dict or plain.
+        assert!((0..fp.num_rows()).all(|i| !fp.column(0).is_null(fp.physical(i) as usize)));
     }
 }

@@ -13,7 +13,7 @@
 //! near-memcpy of the structures the engine already holds.
 
 use crate::agg::{AggFunc, AggSpec};
-use crate::batch::{Batch, Column, ColumnData};
+use crate::batch::{Batch, Column, ColumnData, Dictionary};
 use crate::catalog::{Catalog, ForeignKey, TableDef, TableId};
 use crate::expr::{ArithOp, CmpOp, Predicate, ScalarExpr};
 use crate::logical::{LogicalExpr, ViewDef};
@@ -292,7 +292,8 @@ pub fn decode_schema(d: &mut Dec) -> Result<Schema, CodecError> {
 // Columns and batches
 // ---------------------------------------------------------------------------
 
-/// Tag bytes for [`ColumnData`] variants (5 = the `Mixed` fallback).
+/// Tag bytes for [`ColumnData`] variants (5 = the `Mixed` fallback,
+/// 6 = dictionary-encoded strings).
 fn column_tag(data: &ColumnData) -> u8 {
     match data {
         ColumnData::Int(_) => 0,
@@ -301,6 +302,7 @@ fn column_tag(data: &ColumnData) -> u8 {
         ColumnData::Date(_) => 3,
         ColumnData::Bool(_) => 4,
         ColumnData::Mixed(_) => 5,
+        ColumnData::Dict { .. } => 6,
     }
 }
 
@@ -314,6 +316,14 @@ pub fn encode_column(e: &mut Enc, c: &Column) {
         ColumnData::Date(v) => v.iter().for_each(|x| e.i32(*x)),
         ColumnData::Bool(v) => v.iter().for_each(|x| e.bool(*x)),
         ColumnData::Mixed(v) => v.iter().for_each(|x| encode_value(e, x)),
+        ColumnData::Dict { codes, dict } => {
+            // Codes first (length `n` from the header), then the dictionary
+            // entries. Hashes and the intern index are derived state and
+            // are rebuilt on decode.
+            codes.iter().for_each(|x| e.u32(*x));
+            e.u32(dict.len() as u32);
+            dict.values().iter().for_each(|s| e.str(s));
+        }
     }
     match c.null_mask() {
         Some(mask) => {
@@ -338,6 +348,31 @@ pub fn decode_column(d: &mut Dec) -> Result<Column, CodecError> {
         3 => ColumnData::Date((0..n).map(|_| d.i32()).collect::<Result<_, _>>()?),
         4 => ColumnData::Bool((0..n).map(|_| d.bool()).collect::<Result<_, _>>()?),
         5 => ColumnData::Mixed((0..n).map(|_| decode_value(d)).collect::<Result<_, _>>()?),
+        6 => {
+            let raw_codes: Vec<u32> = (0..n).map(|_| d.u32()).collect::<Result<_, _>>()?;
+            let entries = d.count(1)?;
+            // Re-intern the entries: this rebuilds the derived hash/index
+            // state and re-establishes the uniqueness invariant (a crafted
+            // or corrupt file may carry duplicate entries), remapping codes
+            // accordingly.
+            let mut dict = Dictionary::default();
+            let remap: Vec<u32> = (0..entries)
+                .map(|_| d.str().map(|s| dict.intern(&s)))
+                .collect::<Result<_, _>>()?;
+            let codes = raw_codes
+                .into_iter()
+                .map(|c| {
+                    remap
+                        .get(c as usize)
+                        .copied()
+                        .ok_or_else(|| invalid(format!("dict code {c} out of range")))
+                })
+                .collect::<Result<_, _>>()?;
+            ColumnData::Dict {
+                codes,
+                dict: Arc::new(dict),
+            }
+        }
         t => return Err(invalid(format!("column tag {t}"))),
     };
     let nulls = match d.u8()? {

@@ -93,6 +93,19 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Standalone string hash: the canonical 64-bit image of a string's bytes
+/// used by `Value::hash` and `Column::hash_value`. Dictionary-encoded
+/// columns precompute this per dictionary entry, so a dict-coded string
+/// hashes in O(1) to exactly the same byte stream a plain `Str` column
+/// feeds the hasher — equal strings collide across representations.
+#[inline]
+pub fn str_hash(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.write_u8(0xff); // length delimiter, as in `Hash for str`
+    h.finish()
+}
+
 /// Finishing hasher for keys that are already hashes: one Fibonacci
 /// multiply spreads the entropy into the high bits std's `HashMap` uses.
 #[derive(Default)]

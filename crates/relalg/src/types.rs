@@ -200,8 +200,11 @@ impl Hash for Value {
                 state.write_u64(v.to_bits());
             }
             Value::Str(s) => {
+                // Strings hash through their canonical 64-bit image so a
+                // dictionary-encoded column can replay this byte stream
+                // from a precomputed per-entry hash (see `relalg::hash`).
                 state.write_u8(3);
-                s.hash(state);
+                state.write_u64(crate::hash::str_hash(s));
             }
             Value::Date(d) => {
                 state.write_u8(2);

@@ -28,9 +28,12 @@ use std::sync::OnceLock;
 #[derive(Debug, Clone)]
 pub struct StoredTable {
     schema: Schema,
-    /// Primary columnar image (always dense: no selection vector). Columns
-    /// are `Arc`-shared with scans, so handing the image to the executor is
-    /// O(width); mutation copy-on-writes only the touched columns.
+    /// Primary columnar image (always dense: no selection vector). String
+    /// columns are dictionary-encoded on construction, so scans, joins,
+    /// and aggregations over them run in `u32` code space; delta appends
+    /// intern into the existing dictionaries. Columns are `Arc`-shared
+    /// with scans, so handing the image to the executor is O(width);
+    /// mutation copy-on-writes only the touched columns.
     batch: Batch,
     /// Lazily derived row-major view for user-facing output and legacy
     /// row consumers; invalidated by every mutation.
@@ -47,7 +50,9 @@ impl Default for StoredTable {
 impl StoredTable {
     pub fn new(schema: Schema) -> Self {
         StoredTable {
-            batch: Batch::empty(schema.clone()),
+            // Even the empty image is dict-encoded so the first appended
+            // rows intern instead of landing in a plain string vector.
+            batch: Batch::empty(schema.clone()).dict_encoded(),
             schema,
             rows: OnceLock::new(),
             indices: HashMap::new(),
@@ -56,7 +61,7 @@ impl StoredTable {
 
     pub fn with_rows(schema: Schema, rows: Vec<Tuple>) -> Self {
         debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
-        let batch = Batch::from_rows(schema.clone(), &rows);
+        let batch = Batch::from_rows(schema.clone(), &rows).dict_encoded();
         let cache = OnceLock::new();
         let _ = cache.set(rows);
         StoredTable {
@@ -69,9 +74,9 @@ impl StoredTable {
 
     /// Adopt an already-columnar result (the executor's install path — no
     /// row materialization). Any selection is compacted away so the stored
-    /// image is dense.
+    /// image is dense, and string columns are dictionary-encoded.
     pub fn from_batch(batch: Batch) -> Self {
-        let batch = batch.compact();
+        let batch = batch.compact().dict_encoded();
         StoredTable {
             schema: batch.schema().clone(),
             batch,
@@ -101,7 +106,7 @@ impl StoredTable {
 
     /// Replace the full contents (recomputation path of view refresh).
     pub fn replace_rows(&mut self, rows: Vec<Tuple>) {
-        self.batch = Batch::from_rows(self.schema.clone(), &rows);
+        self.batch = Batch::from_rows(self.schema.clone(), &rows).dict_encoded();
         self.rows = OnceLock::new();
         let _ = self.rows.set(rows);
         self.rebuild_indices();
@@ -110,7 +115,7 @@ impl StoredTable {
     /// Replace the full contents with a columnar result.
     pub fn replace_batch(&mut self, batch: Batch) {
         debug_assert_eq!(batch.schema().ids(), self.schema.ids());
-        self.batch = batch.compact();
+        self.batch = batch.compact().dict_encoded();
         self.rows = OnceLock::new();
         self.rebuild_indices();
     }

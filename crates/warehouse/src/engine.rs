@@ -237,6 +237,30 @@ impl Warehouse {
         self.exec_options.parallel
     }
 
+    /// Pin the parallel scheduler's worker budget (`0` = auto-detect from
+    /// the host). Only takes effect while the scheduler is `parallel`;
+    /// exposed on the CLI as `--parallel N` and `parallel on N`.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.exec_options.threads = threads;
+    }
+
+    /// Configured worker budget (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.exec_options.threads
+    }
+
+    /// The scheduling options epochs currently run with.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec_options
+    }
+
+    /// Run the parallel scheduler even on a 1-thread host (test/benchmark
+    /// hook — see `ExecOptions::force_parallel`). Without it, the threads
+    /// axis of the executor benchmark is vacuous on single-core machines.
+    pub fn set_force_parallel(&mut self, force: bool) {
+        self.exec_options.force_parallel = force;
+    }
+
     // ==================================================================
     // View registry
     // ==================================================================
@@ -1028,7 +1052,7 @@ impl Warehouse {
         ));
         out.push_str(&format!(
             "scheduler: {}\n",
-            mvmqo_exec::scheduler_description(self.exec_options.parallel)
+            mvmqo_exec::scheduler_description(self.exec_options)
         ));
         match self.plan.as_ref() {
             None => out.push_str("no plan (no views registered)\n"),

@@ -248,18 +248,31 @@ impl Session {
         ))
     }
 
-    /// `parallel on|off` — switch the epoch scheduler; bare `parallel`
-    /// reports the current setting.
+    /// `parallel on [N] | off` — switch the epoch scheduler, optionally
+    /// pinning the worker budget to `N` threads (`on` alone auto-detects);
+    /// bare `parallel` reports the current setting.
     fn cmd_parallel(&mut self, words: &[&str]) -> Result<String, String> {
-        match words.get(1) {
-            None => {}
-            Some(&"on") => self.warehouse.set_parallel(true),
-            Some(&"off") => self.warehouse.set_parallel(false),
-            Some(other) => return Err(format!("usage: parallel [on|off] (got {other:?})")),
+        match words[1..] {
+            [] => {}
+            ["on"] => {
+                self.warehouse.set_parallel(true);
+                self.warehouse.set_threads(0);
+            }
+            ["on", n] => {
+                let threads: usize = n
+                    .parse()
+                    .ok()
+                    .filter(|&t| t > 0)
+                    .ok_or_else(|| format!("usage: parallel [on [N]|off] (bad count {n:?})"))?;
+                self.warehouse.set_parallel(true);
+                self.warehouse.set_threads(threads);
+            }
+            ["off"] => self.warehouse.set_parallel(false),
+            _ => return Err(format!("usage: parallel [on [N]|off] (got {:?})", words[1])),
         }
         Ok(format!(
             "epoch scheduler: {}",
-            mvmqo_exec::scheduler_description(self.warehouse.parallel())
+            mvmqo_exec::scheduler_description(self.warehouse.exec_options())
         ))
     }
 
@@ -494,7 +507,8 @@ commands:
   verify NAME               check materialization against recomputation
   explain                   current plan, costs, re-optimization history
   tables                    stored relations and row counts
-  parallel [on|off]         switch the epoch scheduler (default serial)
+  parallel [on [N]|off]     switch the epoch scheduler (default serial);
+                            `on N` pins the worker budget to N threads
   wal [on DIR]              enable durability (snapshot + WAL) / show status
   save                      checkpoint: new snapshot, truncate the WAL
   recover DIR               rebuild the session from durable state
@@ -612,6 +626,30 @@ mod tests {
         assert!(s.exec_line("verify rev").unwrap().contains("consistent"));
         assert!(s.exec_line("parallel off").unwrap().contains("serial"));
         assert!(s.exec_line("parallel bogus").is_err());
+    }
+
+    #[test]
+    fn parallel_thread_count_round_trips() {
+        let mut s = session();
+        let out = s.exec_line("parallel on 2").unwrap();
+        // An explicit count survives the 1-core auto-disable reporting:
+        // either the pinned count shows up, or the host has one thread and
+        // the scheduler says so.
+        assert!(
+            out.contains("2 threads") || out.contains("1 thread"),
+            "{out}"
+        );
+        assert_eq!(s.warehouse.threads(), 2);
+        s.exec_line("view rev = lineitem * orders group o_custkey sum l_extendedprice")
+            .unwrap();
+        s.exec_line("ingest all 5").unwrap();
+        s.exec_line("epoch").unwrap();
+        assert!(s.exec_line("verify rev").unwrap().contains("consistent"));
+        assert!(s.exec_line("parallel on 0").is_err());
+        assert!(s.exec_line("parallel on two").is_err());
+        // `parallel on` resets to auto.
+        s.exec_line("parallel on").unwrap();
+        assert_eq!(s.warehouse.threads(), 0);
     }
 
     #[test]

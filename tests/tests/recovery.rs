@@ -730,6 +730,38 @@ mod codec_roundtrip {
         assert_eq!(roundtrip(&batch), batch);
     }
 
+    /// Dictionary-encoded string columns survive the codec: logical
+    /// equality holds, the decoded image is still dict-encoded, and the
+    /// re-interned dictionary keeps the entries-unique invariant (code
+    /// equality ⇔ string equality) that the code-space kernels rely on.
+    #[test]
+    fn dict_encoded_batch_round_trips() {
+        let s = schema(&[DataType::Str, DataType::Int]);
+        let rows: Vec<Tuple> = (0..300)
+            .map(|i| {
+                vec![
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::str(format!("w{}", i % 13))
+                    },
+                    Value::Int(i),
+                ]
+            })
+            .collect();
+        let batch = Batch::from_rows(s, &rows).dict_encoded();
+        let back = roundtrip(&batch);
+        assert_eq!(&back, &batch);
+        assert_eq!(back.to_rows(), rows);
+        let (codes, dict) = back.column(0).dict().expect("decoded image stays dict");
+        assert_eq!(codes.len(), 300);
+        let mut seen = std::collections::HashSet::new();
+        assert!(
+            dict.values().iter().all(|v| seen.insert(v.clone())),
+            "dictionary entries must stay unique after re-interning"
+        );
+    }
+
     fn value_strategy() -> impl Strategy<Value = Value> {
         (0i64..1000).prop_map(|n| {
             let v = n / 5 - 100;
