@@ -74,15 +74,18 @@ fn bench_epochs(c: &mut Criterion) {
             let planned = mvmqo_core::api::plan_maintenance(&mut tpcd.catalog, &problem);
             let (dag, report) = (planned.dag, planned.report);
             let index_plan = index_plan_from_report(&initial_indices, &report);
-            black_box(execute_program(
-                &dag,
-                &tpcd.catalog,
-                problem.cost_model,
-                &mut db,
-                &deltas,
-                &report.program,
-                &index_plan,
-            ))
+            black_box(
+                execute_program(
+                    &dag,
+                    &tpcd.catalog,
+                    problem.cost_model,
+                    &mut db,
+                    &deltas,
+                    &report.program,
+                    &index_plan,
+                )
+                .expect("epoch execution"),
+            )
         })
     });
 

@@ -252,7 +252,7 @@ pub fn run_plan_threads(fixture: &mut ExecFixture, plan: &PhysPlan, threads: usi
         HashMap::new(),
     );
     rt.set_threads(threads);
-    rt.eval(plan).len()
+    rt.eval(plan).expect("benchmark plan evaluation").len()
 }
 
 /// The filtered hash join through the engine executor.

@@ -18,19 +18,30 @@
 //!   and evaluates them on scoped threads, deterministically;
 //! * [`mod@reference`] — a naive ground-truth evaluator used to verify that
 //!   incremental maintenance produces exactly the recomputed result;
+//! * [`mod@error`] — typed executor errors ([`ExecError`]): operator
+//!   failures, schema drift, injected faults, and forwarded worker panics
+//!   all surface as values, so a long-lived engine can abort the epoch
+//!   that hit them and retry instead of crashing;
 //! * [`meter`] — simulated I/O/CPU accounting in the same units as the
 //!   optimizer's cost model, so executed and estimated costs are
 //!   comparable.
 
+// Panic-free discipline: unwinding in an operator would tear down a
+// long-lived warehouse engine, so reaching for `unwrap`/`expect` here needs
+// an explicit per-site justification (a true invariant) or a typed error.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod error;
 pub mod meter;
 pub mod reference;
 pub mod run;
 pub mod runtime;
 
+pub use error::{panic_message, ExecError};
 pub use meter::Meter;
 pub use reference::eval_logical;
 pub use run::{
-    effective_parallel, execute_epoch, execute_epoch_opts, execute_program, index_plan_from_report,
-    scheduler_description, view_root, ExecOptions, ExecReport, IndexPlan,
+    effective_parallel, execute_epoch, execute_epoch_faults, execute_epoch_opts, execute_program,
+    index_plan_from_report, scheduler_description, view_root, ExecOptions, ExecReport, IndexPlan,
 };
 pub use runtime::{align_rows, AggState, DistinctState, Runtime, RuntimeState};

@@ -16,6 +16,12 @@ use mvmqo_storage::database::Database;
 use std::collections::HashMap;
 
 /// Evaluate a logical expression directly over `db`.
+// Invariants, not input validation: the logical expression comes from the
+// catalog-validated view registry, so referenced tables are loaded and
+// projected/grouped attributes exist in their input schemas by
+// construction. This evaluator is ground truth for tests and `verify` —
+// drifting from it silently would be worse than failing loudly.
+#[allow(clippy::expect_used)]
 pub fn eval_logical(expr: &LogicalExpr, catalog: &Catalog, db: &Database) -> Vec<Tuple> {
     match expr {
         LogicalExpr::Scan { table } => db.base(*table).expect("base table loaded").rows().to_vec(),
@@ -88,6 +94,9 @@ pub fn eval_logical(expr: &LogicalExpr, catalog: &Catalog, db: &Database) -> Vec
     }
 }
 
+// Invariant: group-by attributes come from the aggregate's own input
+// schema (see `eval_logical`).
+#[allow(clippy::expect_used)]
 fn aggregate_reference(
     rows: &[Tuple],
     schema: &Schema,

@@ -14,6 +14,7 @@
 //! next, so permanent materializations are maintained in place rather than
 //! rebuilt every cycle.
 
+use crate::error::ExecError;
 use crate::meter::Meter;
 use crate::runtime::{Runtime, RuntimeState};
 use mvmqo_core::cost::CostModel;
@@ -26,6 +27,7 @@ use mvmqo_relalg::schema::AttrId;
 use mvmqo_relalg::tuple::Tuple;
 use mvmqo_storage::database::Database;
 use mvmqo_storage::delta::{DeltaBatch, DeltaKind, DeltaSet};
+use mvmqo_storage::faults::FaultRegistry;
 use mvmqo_storage::index::IndexKind;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -188,7 +190,7 @@ pub fn execute_program(
     deltas: &DeltaSet,
     program: &Program,
     indices: &IndexPlan,
-) -> ExecReport {
+) -> Result<ExecReport, ExecError> {
     let mut state = RuntimeState::new();
     execute_epoch(
         dag, catalog, model, db, deltas, program, indices, &mut state,
@@ -209,7 +211,7 @@ pub fn execute_epoch(
     program: &Program,
     indices: &IndexPlan,
     state: &mut RuntimeState,
-) -> ExecReport {
+) -> Result<ExecReport, ExecError> {
     execute_epoch_opts(
         dag,
         catalog,
@@ -236,7 +238,43 @@ pub fn execute_epoch_opts(
     indices: &IndexPlan,
     state: &mut RuntimeState,
     options: ExecOptions,
-) -> ExecReport {
+) -> Result<ExecReport, ExecError> {
+    execute_epoch_faults(
+        dag,
+        catalog,
+        model,
+        db,
+        deltas,
+        program,
+        indices,
+        state,
+        options,
+        FaultRegistry::none(),
+    )
+}
+
+/// [`execute_epoch_opts`] with a live fault-injection registry: every
+/// operator evaluation, merge, and base-delta application checks it, so
+/// the chaos tests can fail the epoch at any site.
+///
+/// On `Err`, `db` and `state` may hold partially-applied work — `state` is
+/// taken (left default) at entry and only written back on success. Callers
+/// wanting all-or-nothing semantics must run against *staged clones* and
+/// install them only on `Ok` (the warehouse transactional-epoch path does
+/// exactly that; cloning is cheap because stored tables are copy-on-write).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_epoch_faults(
+    dag: &Dag,
+    catalog: &Catalog,
+    model: CostModel,
+    db: &mut Database,
+    deltas: &DeltaSet,
+    program: &Program,
+    indices: &IndexPlan,
+    state: &mut RuntimeState,
+    options: ExecOptions,
+    faults: &FaultRegistry,
+) -> Result<ExecReport, ExecError> {
     // Resolve the scheduler once: a parallel request on a 1-thread host
     // runs serially (see `effective_parallel`) unless explicitly forced
     // (tests covering the parallel path on single-core machines), and the
@@ -255,14 +293,8 @@ pub fn execute_epoch_opts(
     // layer keeps indices in sync as deltas apply, so across epochs they
     // persist rather than being rebuilt.
     for (t, attr) in &indices.base {
-        if db
-            .base(*t)
-            .expect("base table loaded")
-            .index_on(*attr)
-            .is_none()
-        {
-            db.create_base_index(*t, *attr, IndexKind::Hash)
-                .expect("base table loaded");
+        if db.base(*t)?.index_on(*attr).is_none() {
+            db.create_base_index(*t, *attr, IndexKind::Hash)?;
         }
     }
     let mut mat_indices: HashMap<EqId, Vec<AttrId>> = HashMap::new();
@@ -282,6 +314,7 @@ pub fn execute_epoch_opts(
     if options.parallel {
         rt.set_threads(threads);
     }
+    rt.set_faults(faults);
 
     // ------------------------------------------------------------------
     // Setup: populate views and permanent extras on the OLD state. Under
@@ -294,7 +327,7 @@ pub fn execute_epoch_opts(
         .map(|(_, e)| *e)
         .chain(program.permanent_mats.iter().copied())
         .collect();
-    rt.materialize_many(&setup_targets, options.parallel);
+    rt.materialize_many(&setup_targets, options.parallel)?;
     let setup_meter = rt.meter.clone();
     let setup_seconds = setup_meter.seconds;
     let setup_builds = rt.full_builds;
@@ -338,11 +371,11 @@ pub fn execute_epoch_opts(
             });
             for level in levels {
                 for e in &level {
-                    rt.prepare(plan_of[e]);
+                    rt.prepare(plan_of[e])?;
                 }
                 let plans: Vec<&mvmqo_core::plan::PhysPlan> =
                     level.iter().map(|e| plan_of[e]).collect();
-                let results = crate::runtime::eval_parallel(&rt, &plans);
+                let results = crate::runtime::eval_parallel(&rt, &plans)?;
                 for (e, (batch, meter)) in level.into_iter().zip(results) {
                     rt.meter.absorb(&meter);
                     rt.store_delta(e, u, batch);
@@ -350,7 +383,7 @@ pub fn execute_epoch_opts(
             }
         } else {
             for (e, plan) in &step.temp_deltas {
-                let batch = rt.eval_batch(plan);
+                let batch = rt.eval_batch(plan)?;
                 rt.store_delta(*e, u, batch);
             }
         }
@@ -361,31 +394,31 @@ pub fn execute_epoch_opts(
         let mut merge_batches: Vec<(usize, Batch)> = Vec::with_capacity(step.merges.len());
         if options.parallel && step.merges.len() > 1 {
             for merge in &step.merges {
-                rt.prepare(&merge.delta_plan);
+                rt.prepare(&merge.delta_plan)?;
             }
             let plans: Vec<&mvmqo_core::plan::PhysPlan> =
                 step.merges.iter().map(|m| &m.delta_plan).collect();
-            let results = crate::runtime::eval_parallel(&rt, &plans);
+            let results = crate::runtime::eval_parallel(&rt, &plans)?;
             for (i, (batch, meter)) in results.into_iter().enumerate() {
                 rt.meter.absorb(&meter);
                 merge_batches.push((i, batch));
             }
         } else {
             for (i, merge) in step.merges.iter().enumerate() {
-                merge_batches.push((i, rt.eval_batch(&merge.delta_plan)));
+                merge_batches.push((i, rt.eval_batch(&merge.delta_plan)?));
             }
         }
         // ...then apply them, columnar end-to-end.
         for (i, batch) in merge_batches {
             let merge = &step.merges[i];
             match &merge.kind {
-                MergeKind::Plain => rt.merge_plain(merge.target, batch, kind),
+                MergeKind::Plain => rt.merge_plain(merge.target, batch, kind)?,
                 MergeKind::Aggregate { .. } => {
-                    if rt.merge_aggregate(merge.target, batch, kind) {
+                    if rt.merge_aggregate(merge.target, batch, kind)? {
                         forced_recomputes += 1;
                     }
                 }
-                MergeKind::Distinct => rt.merge_distinct(merge.target, batch, kind),
+                MergeKind::Distinct => rt.merge_distinct(merge.target, batch, kind)?,
             }
         }
 
@@ -400,9 +433,8 @@ pub fn execute_epoch_opts(
         };
         let width = catalog.table(table).schema.row_width();
         let batch_len = batch.inserts.len() + batch.deletes.len();
-        rt.db
-            .apply_base_delta(table, &batch)
-            .expect("base table loaded");
+        faults.hit("exec:apply-base-delta")?;
+        rt.db.apply_base_delta(table, &batch)?;
         rt.meter.charge_seq(&model, batch_len, width);
 
         // 4. Invalidate stale temporaries; maintained results stay fresh.
@@ -416,27 +448,24 @@ pub fn execute_epoch_opts(
     for e in &program.final_recomputes {
         rt.drop_mat(*e);
     }
-    rt.materialize_many(&program.final_recomputes, options.parallel);
+    rt.materialize_many(&program.final_recomputes, options.parallel)?;
     for e in &program.temporary_mats {
         rt.drop_mat(*e);
     }
 
-    let view_rows: BTreeMap<String, Vec<Tuple>> = program
-        .views
-        .iter()
-        .map(|(name, e)| {
-            // Views must be materialized at the end of the cycle; rows are
-            // only built when the caller asked for them — the one
-            // user-facing row conversion of the epoch.
-            let table = rt.materialize(*e);
-            let rows = if options.collect_view_rows {
-                table.batch().to_rows()
-            } else {
-                Vec::new()
-            };
-            (name.clone(), rows)
-        })
-        .collect();
+    let mut view_rows: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+    for (name, e) in &program.views {
+        // Views must be materialized at the end of the cycle; rows are
+        // only built when the caller asked for them — the one
+        // user-facing row conversion of the epoch.
+        let table = rt.materialize(*e)?;
+        let rows = if options.collect_view_rows {
+            table.batch().to_rows()
+        } else {
+            Vec::new()
+        };
+        view_rows.insert(name.clone(), rows);
+    }
 
     let total = rt.meter.clone();
     let maintenance_meter = Meter {
@@ -447,7 +476,7 @@ pub fn execute_epoch_opts(
     };
     let total_builds = rt.full_builds;
     *state = rt.take_state();
-    ExecReport {
+    Ok(ExecReport {
         setup_seconds,
         maintenance_seconds: maintenance_meter.seconds,
         maintenance_meter,
@@ -455,7 +484,7 @@ pub fn execute_epoch_opts(
         forced_recomputes,
         setup_builds,
         total_builds,
-    }
+    })
 }
 
 /// Collect the executor-facing index plan from an optimizer report.

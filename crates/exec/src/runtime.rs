@@ -18,6 +18,7 @@
 //!    scheduler can run independent plan roots on separate threads against
 //!    one prepared state.
 
+use crate::error::{panic_message, ExecError};
 use crate::meter::Meter;
 use mvmqo_core::cost::CostModel;
 use mvmqo_core::dag::{Dag, EqId};
@@ -34,9 +35,12 @@ use mvmqo_relalg::tuple::Tuple;
 use mvmqo_relalg::types::{DataType, Value};
 use mvmqo_storage::database::Database;
 use mvmqo_storage::delta::{DeltaKind, DeltaSet};
+use mvmqo_storage::faults::FaultRegistry;
 use mvmqo_storage::index::IndexKind;
 use mvmqo_storage::table::StoredTable;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrder};
 
 /// Hidden per-group accumulator state for a maintained aggregate view
 /// (footnote 1 of the paper: counts must be kept to apply deletions).
@@ -58,6 +62,10 @@ impl AggState {
         }
     }
 
+    // Invariant, not input validation: `group_by` is derived from
+    // `input_schema` when the state is built, so every group attribute is
+    // present by construction.
+    #[allow(clippy::expect_used)]
     fn key_positions(&self) -> Vec<usize> {
         self.group_by
             .iter()
@@ -302,7 +310,7 @@ impl DistinctState {
 /// materializations and their indices are *reused*, not rebuilt. Node ids
 /// are only meaningful for the DAG/program the state was built under — drop
 /// the state whenever the engine re-optimizes.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RuntimeState {
     pub(crate) mats: HashMap<EqId, StoredTable>,
     pub(crate) fresh: HashSet<EqId>,
@@ -369,6 +377,10 @@ impl RuntimeState {
     /// does this at epoch end; the durability layer calls it again
     /// defensively before serializing, so a snapshot can never capture a
     /// stale stored-table image.
+    // Invariant, not input validation: an id only enters `deferred` when its
+    // stored table and support state were installed in the same merge, so
+    // both lookups succeed by construction.
+    #[allow(clippy::expect_used)]
     pub fn realize_deferred(&mut self) {
         let pending: Vec<EqId> = self.deferred.drain().collect();
         for e in pending {
@@ -479,6 +491,11 @@ pub struct Runtime<'a> {
     /// results served from a persisted [`RuntimeState`].
     pub full_builds: usize,
     pub meter: Meter,
+    /// Fault-injection registry checked at every operator evaluation and
+    /// merge. Defaults to the inert shared registry (one relaxed atomic
+    /// load per check); the chaos tests arm a live one via
+    /// [`Runtime::set_faults`].
+    faults: &'a FaultRegistry,
 }
 
 impl<'a> Runtime<'a> {
@@ -530,7 +547,14 @@ impl<'a> Runtime<'a> {
             threads: 1,
             full_builds: 0,
             meter: Meter::new(),
+            faults: FaultRegistry::none(),
         }
+    }
+
+    /// Install a fault-injection registry; operator evaluations and merges
+    /// check it and surface armed faults as [`ExecError::Fault`].
+    pub fn set_faults(&mut self, faults: &'a FaultRegistry) {
+        self.faults = faults;
     }
 
     /// Set the worker-thread budget for plan evaluation. `1` (the default)
@@ -561,6 +585,9 @@ impl<'a> Runtime<'a> {
     /// Rebuild a maintained aggregate/distinct result's stored table from
     /// its hidden support state (the deferred half of a merge). Columnar:
     /// the output batch is built straight from the accumulators.
+    // Invariant, not input validation: ids enter `deferred` only alongside
+    // their stored table and support state (see `RuntimeState`).
+    #[allow(clippy::expect_used)]
     fn realize_deferred(&mut self, e: EqId) {
         if !self.state.deferred.remove(&e) {
             return;
@@ -602,18 +629,21 @@ impl<'a> Runtime<'a> {
 
     /// Ensure a materialized result exists, is fresh, and its stored image
     /// is current; returns the stored table.
-    pub fn materialize(&mut self, e: EqId) -> &StoredTable {
+    pub fn materialize(&mut self, e: EqId) -> Result<&StoredTable, ExecError> {
         if !self.state.fresh.contains(&e) {
             // A pending deferred rebuild is moot: the full rebuild below
             // replaces the stored image (and its support state) anyway.
             self.state.deferred.remove(&e);
-            let work = self.claim_build(e);
-            let batch = self.eval_batch(&work.eval_plan);
+            let work = self.claim_build(e)?;
+            let batch = self.eval_batch(&work.eval_plan)?;
             self.install_build(work, batch);
         } else {
             self.realize_deferred(e);
         }
-        self.state.mats.get(&e).expect("just materialized")
+        self.state
+            .mats
+            .get(&e)
+            .ok_or_else(|| ExecError::invariant(format!("{e} absent after materialize")))
     }
 
     /// Claim one full build: count it, classify the plan root, and return
@@ -622,15 +652,15 @@ impl<'a> Runtime<'a> {
     /// footnote 1 of the paper — or the plan itself otherwise). Shared by
     /// the serial and parallel materialization paths so their semantics
     /// cannot drift.
-    fn claim_build(&mut self, e: EqId) -> MatWork {
-        self.full_builds += 1;
+    fn claim_build(&mut self, e: EqId) -> Result<MatWork, ExecError> {
         let plan = self
             .full_plans
             .get(&e)
-            .unwrap_or_else(|| panic!("no full plan for materialized node {e}"))
+            .ok_or(ExecError::MissingPlan(e))?
             .clone();
+        self.full_builds += 1;
         let schema = plan.schema.clone();
-        match plan.node {
+        Ok(match plan.node {
             PlanNode::HashAggregate {
                 input,
                 group_by,
@@ -657,7 +687,7 @@ impl<'a> Runtime<'a> {
                 kind: RootKind::Plain,
                 eval_plan: plan,
             },
-        }
+        })
     }
 
     /// Install one evaluated build: fold hidden aggregate/distinct support
@@ -708,7 +738,7 @@ impl<'a> Runtime<'a> {
     /// All state mutation — dependency preparation before a level, result
     /// installation after — stays serial and in target order, so the
     /// outcome is identical to calling [`Runtime::materialize`] in a loop.
-    pub fn materialize_many(&mut self, targets: &[EqId], parallel: bool) {
+    pub fn materialize_many(&mut self, targets: &[EqId], parallel: bool) -> Result<(), ExecError> {
         let mut seen = HashSet::new();
         let todo: Vec<EqId> = targets
             .iter()
@@ -717,9 +747,9 @@ impl<'a> Runtime<'a> {
             .collect();
         if !parallel || todo.len() < 2 {
             for e in todo {
-                self.materialize(e);
+                self.materialize(e)?;
             }
-            return;
+            return Ok(());
         }
         let in_set: HashSet<EqId> = todo.iter().copied().collect();
         let levels = level_items(&todo, |e| {
@@ -741,19 +771,20 @@ impl<'a> Runtime<'a> {
                 if self.state.fresh.contains(&e) {
                     continue;
                 }
-                let w = self.claim_build(e);
-                self.prepare(&w.eval_plan);
+                let w = self.claim_build(e)?;
+                self.prepare(&w.eval_plan)?;
                 work.push(w);
             }
             // Parallel read-only evaluation of the level's plan roots.
             let plans: Vec<&PhysPlan> = work.iter().map(|w| &w.eval_plan).collect();
-            let results = eval_parallel(self, &plans);
+            let results = eval_parallel(self, &plans)?;
             // Serial installation, in target order.
             for (w, (batch, meter)) in work.into_iter().zip(results) {
                 self.meter.absorb(&meter);
                 self.install_build(w, batch);
             }
         }
+        Ok(())
     }
 
     /// Drop a temporary materialization.
@@ -809,20 +840,22 @@ impl<'a> Runtime<'a> {
     /// columnar: the delta batch is aligned to the stored layout and
     /// applied as a column append (inserts) or a keep-mask compaction with
     /// index position remap (deletes).
-    pub fn merge_plain(&mut self, e: EqId, delta: Batch, kind: DeltaKind) {
+    pub fn merge_plain(&mut self, e: EqId, delta: Batch, kind: DeltaKind) -> Result<(), ExecError> {
+        self.faults.hit("exec:merge")?;
         let width = self.dag.eq(e).schema.row_width();
         self.meter.charge_seq(&self.model, delta.num_rows(), width);
         let table = self
             .state
             .mats
             .get_mut(&e)
-            .expect("maintained result stored");
+            .ok_or_else(|| ExecError::invariant(format!("maintained result {e} not stored")))?;
         let delta = delta.align(table.schema());
         match kind {
             DeltaKind::Insert => table.apply_batch_delta(Some(&delta), None),
             DeltaKind::Delete => table.apply_batch_delta(None, Some(&delta)),
         }
         self.state.fresh.insert(e);
+        Ok(())
     }
 
     /// Merge a raw input differential batch into a maintained aggregate.
@@ -831,36 +864,57 @@ impl<'a> Runtime<'a> {
     /// is touched by several update steps re-emits its groups once, not
     /// once per step. Returns `true` if the view had to fall back to
     /// recomputation (MIN/MAX deletion).
-    pub fn merge_aggregate(&mut self, e: EqId, input: Batch, kind: DeltaKind) -> bool {
+    pub fn merge_aggregate(
+        &mut self,
+        e: EqId,
+        input: Batch,
+        kind: DeltaKind,
+    ) -> Result<bool, ExecError> {
+        self.faults.hit("exec:merge")?;
         self.meter.charge_cpu(&self.model, input.num_rows());
-        let state = self.state.agg_states.get_mut(&e).expect("aggregate state");
+        let state =
+            self.state.agg_states.get_mut(&e).ok_or_else(|| {
+                ExecError::invariant(format!("aggregate state for {e} not stored"))
+            })?;
         let needs_recompute = state.fold_batch(&input, kind);
         if needs_recompute {
             // Affected-group recompute, realized as a full refresh (§3.1.2's
             // "significant extra work"; the cost model charges the same).
             self.state.deferred.remove(&e);
             self.state.fresh.remove(&e);
-            self.materialize(e);
-            return true;
+            self.materialize(e)?;
+            return Ok(true);
         }
         self.state.deferred.insert(e);
         self.state.fresh.insert(e);
-        false
+        Ok(false)
     }
 
     /// Merge a raw input differential batch into a maintained DISTINCT
     /// view (support-count fold now, stored rebuild deferred).
-    pub fn merge_distinct(&mut self, e: EqId, input: Batch, kind: DeltaKind) {
+    pub fn merge_distinct(
+        &mut self,
+        e: EqId,
+        input: Batch,
+        kind: DeltaKind,
+    ) -> Result<(), ExecError> {
+        self.faults.hit("exec:merge")?;
         self.meter.charge_cpu(&self.model, input.num_rows());
-        let schema = self.state.mats.get(&e).expect("stored").schema().clone();
-        let state = self
+        let schema = self
             .state
-            .distinct_states
-            .get_mut(&e)
-            .expect("distinct state");
+            .mats
+            .get(&e)
+            .ok_or_else(|| ExecError::invariant(format!("maintained result {e} not stored")))?
+            .schema()
+            .clone();
+        let state =
+            self.state.distinct_states.get_mut(&e).ok_or_else(|| {
+                ExecError::invariant(format!("distinct state for {e} not stored"))
+            })?;
         state.fold_batch(&input, &schema, kind);
         self.state.deferred.insert(e);
         self.state.fresh.insert(e);
+        Ok(())
     }
 
     // ==================================================================
@@ -868,19 +922,19 @@ impl<'a> Runtime<'a> {
     // ==================================================================
 
     /// Evaluate a physical plan against the current state, as rows.
-    pub fn eval(&mut self, plan: &PhysPlan) -> Vec<Tuple> {
-        self.eval_batch(plan).into_rows()
+    pub fn eval(&mut self, plan: &PhysPlan) -> Result<Vec<Tuple>, ExecError> {
+        Ok(self.eval_batch(plan)?.into_rows())
     }
 
     /// Evaluate a physical plan against the current state, as a columnar
     /// [`Batch`]. Runs the mutable `prepare` pass first, then the
     /// read-only vectorized evaluator.
-    pub fn eval_batch(&mut self, plan: &PhysPlan) -> Batch {
-        self.prepare(plan);
+    pub fn eval_batch(&mut self, plan: &PhysPlan) -> Result<Batch, ExecError> {
+        self.prepare(plan)?;
         let mut meter = Meter::new();
-        let batch = self.eval_ctx().eval(plan, &mut meter);
+        let batch = self.eval_ctx().eval(plan, &mut meter)?;
         self.meter.absorb(&meter);
-        batch
+        Ok(batch)
     }
 
     /// Read-only evaluation context over the runtime's current state.
@@ -893,6 +947,7 @@ impl<'a> Runtime<'a> {
             mats: &self.state.mats,
             delta_store: &self.delta_store,
             threads: self.threads,
+            faults: self.faults,
         }
     }
 
@@ -901,22 +956,22 @@ impl<'a> Runtime<'a> {
     /// read-only (and therefore shareable across scheduler threads). This
     /// is also what lets the index nested-loop join probe the stored inner
     /// relation in place instead of cloning it.
-    pub(crate) fn prepare(&mut self, plan: &PhysPlan) {
+    pub(crate) fn prepare(&mut self, plan: &PhysPlan) -> Result<(), ExecError> {
         match &plan.node {
             PlanNode::ScanBase(_) | PlanNode::ScanDelta { .. } | PlanNode::ReadDelta(..) => {}
             PlanNode::ReadMat(e) => {
-                self.materialize(*e);
+                self.materialize(*e)?;
             }
             PlanNode::IndexScan { target, .. } => {
                 if let StoredRef::Mat(e) = target {
-                    self.materialize(*e);
+                    self.materialize(*e)?;
                 }
             }
             PlanNode::IndexNlJoin {
                 outer, inner, keys, ..
             } => {
-                self.prepare(outer);
-                let t = self.stored_table_mut(*inner);
+                self.prepare(outer)?;
+                let t = self.stored_table_mut(*inner)?;
                 if t.index_on(keys.1).is_none() {
                     t.create_index(keys.1, IndexKind::Hash);
                 }
@@ -924,33 +979,37 @@ impl<'a> Runtime<'a> {
             PlanNode::Filter { input, .. }
             | PlanNode::Project { input, .. }
             | PlanNode::HashAggregate { input, .. }
-            | PlanNode::Distinct { input } => self.prepare(input),
+            | PlanNode::Distinct { input } => self.prepare(input)?,
             PlanNode::HashJoin { build, probe, .. } => {
-                self.prepare(build);
-                self.prepare(probe);
+                self.prepare(build)?;
+                self.prepare(probe)?;
             }
             PlanNode::MergeJoin { left, right, .. }
             | PlanNode::NlJoin { left, right, .. }
             | PlanNode::Minus { left, right } => {
-                self.prepare(left);
-                self.prepare(right);
+                self.prepare(left)?;
+                self.prepare(right)?;
             }
             PlanNode::UnionAll(inputs) => {
                 for i in inputs {
-                    self.prepare(i);
+                    self.prepare(i)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Resolve a stored relation reference (mutable, for on-demand index
     /// creation during [`Runtime::prepare`]).
-    fn stored_table_mut(&mut self, target: StoredRef) -> &mut StoredTable {
+    fn stored_table_mut(&mut self, target: StoredRef) -> Result<&mut StoredTable, ExecError> {
         match target {
-            StoredRef::Base(t) => self.db.base_mut(t).expect("base table loaded"),
+            StoredRef::Base(t) => Ok(self.db.base_mut(t)?),
             StoredRef::Mat(e) => {
-                self.materialize(e);
-                self.state.mats.get_mut(&e).expect("materialized")
+                self.materialize(e)?;
+                self.state
+                    .mats
+                    .get_mut(&e)
+                    .ok_or_else(|| ExecError::invariant(format!("{e} absent after materialize")))
             }
         }
     }
@@ -974,6 +1033,8 @@ pub(crate) struct EvalCtx<'r> {
     /// serial evaluation (morsel-order concatenation, hash-disjoint
     /// partitions, key-sorted group output).
     pub threads: usize,
+    /// Fault-injection registry, checked once per operator evaluation.
+    pub faults: &'r FaultRegistry,
 }
 
 /// Rows per morsel: the unit of intra-operator work distribution. Inputs at
@@ -991,56 +1052,111 @@ fn morsel_ranges(n: usize) -> Vec<std::ops::Range<usize>> {
 /// Run `task` over `count` independent work items on up to `workers` scoped
 /// threads; results come back indexed by item, so callers concatenating in
 /// item order get output independent of thread scheduling.
+///
+/// A panicking task does not tear the process down: the worker catches it,
+/// flags cancellation so the remaining morsels are skipped, and the first
+/// panic (in join order) comes back as [`ExecError::WorkerPanic`]. The
+/// serial path runs uncaught — a panic there unwinds to the epoch boundary,
+/// where the warehouse catches it and aborts the epoch.
 fn run_indexed<T: Send>(
     count: usize,
     workers: usize,
     task: impl Fn(usize) -> T + Sync,
-) -> Vec<Option<T>> {
+) -> Result<Vec<Option<T>>, ExecError> {
     let workers = workers.min(count).max(1);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
     if workers <= 1 {
         for (i, slot) in slots.iter_mut().enumerate() {
             *slot = Some(task(i));
         }
-        return slots;
+        return Ok(slots);
     }
     let task = &task;
+    let cancel = &AtomicBool::new(false);
+    let mut first_panic: Option<String> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                s.spawn(move || {
+                s.spawn(move || -> Result<Vec<(usize, T)>, String> {
                     let mut out = Vec::new();
                     let mut i = w;
                     while i < count {
-                        out.push((i, task(i)));
+                        if cancel.load(AtomicOrder::Relaxed) {
+                            break;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| task(i))) {
+                            Ok(v) => out.push((i, v)),
+                            Err(payload) => {
+                                cancel.store(true, AtomicOrder::Relaxed);
+                                return Err(panic_message(payload.as_ref()));
+                            }
+                        }
                         i += workers;
                     }
-                    out
+                    Ok(out)
                 })
             })
             .collect();
         for h in handles {
-            for (i, v) in h.join().expect("morsel worker thread panicked") {
-                slots[i] = Some(v);
+            match h.join() {
+                Ok(Ok(chunk)) => {
+                    for (i, v) in chunk {
+                        slots[i] = Some(v);
+                    }
+                }
+                Ok(Err(msg)) => {
+                    first_panic.get_or_insert(msg);
+                }
+                // Defensive: the worker catches its own panics, but drop
+                // glue could still unwind.
+                Err(payload) => {
+                    first_panic.get_or_insert(panic_message(payload.as_ref()));
+                }
             }
         }
     });
-    slots
+    match first_panic {
+        Some(message) => Err(ExecError::WorkerPanic { message }),
+        None => Ok(slots),
+    }
+}
+
+/// Fault-injection site label for one operator evaluation — every operator
+/// entry in [`EvalCtx::eval`] is an addressable site.
+fn op_site(node: &PlanNode) -> &'static str {
+    match node {
+        PlanNode::ScanBase(_) => "exec:scan-base",
+        PlanNode::ScanDelta { .. } => "exec:scan-delta",
+        PlanNode::ReadMat(_) => "exec:read-mat",
+        PlanNode::ReadDelta(..) => "exec:read-delta",
+        PlanNode::IndexScan { .. } => "exec:index-scan",
+        PlanNode::Filter { .. } => "exec:filter",
+        PlanNode::Project { .. } => "exec:project",
+        PlanNode::HashJoin { .. } => "exec:hash-join",
+        PlanNode::MergeJoin { .. } => "exec:merge-join",
+        PlanNode::NlJoin { .. } => "exec:nl-join",
+        PlanNode::IndexNlJoin { .. } => "exec:index-nl-join",
+        PlanNode::HashAggregate { .. } => "exec:hash-aggregate",
+        PlanNode::UnionAll(_) => "exec:union-all",
+        PlanNode::Minus { .. } => "exec:minus",
+        PlanNode::Distinct { .. } => "exec:distinct",
+    }
 }
 
 impl EvalCtx<'_> {
     /// Evaluate a plan, charging `meter` the same primitives the
     /// row-at-a-time executor charged (so executed-vs-estimated cost
     /// comparisons are unchanged by vectorization).
-    pub(crate) fn eval(&self, plan: &PhysPlan, meter: &mut Meter) -> Batch {
+    pub(crate) fn eval(&self, plan: &PhysPlan, meter: &mut Meter) -> Result<Batch, ExecError> {
+        self.faults.hit(op_site(&plan.node))?;
         match &plan.node {
             PlanNode::ScanBase(t) => {
-                let table = self.db.base(*t).expect("base table loaded");
+                let table = self.db.base(*t)?;
                 // O(width): the stored image is primary and its columns are
                 // Arc-shared with the clone.
                 let batch = table.batch().clone().align(&plan.schema);
                 meter.charge_seq(self.model, batch.num_rows(), plan.schema.row_width());
-                batch
+                Ok(batch)
             }
             PlanNode::ScanDelta { table, kind } => {
                 let rows = self.deltas.side(*table, *kind);
@@ -1051,24 +1167,21 @@ impl EvalCtx<'_> {
                     let ranges = morsel_ranges(rows.len());
                     let chunks = run_indexed(ranges.len(), self.threads, |m| {
                         Batch::from_rows(plan.schema.clone(), &rows[ranges[m].clone()])
-                    });
+                    })?;
                     let mut out = Batch::empty(plan.schema.clone());
                     for chunk in chunks.into_iter().flatten() {
                         out.append(&chunk);
                     }
-                    out
+                    Ok(out)
                 } else {
-                    Batch::from_rows(plan.schema.clone(), rows)
+                    Ok(Batch::from_rows(plan.schema.clone(), rows))
                 }
             }
             PlanNode::ReadMat(e) => {
-                let table = self
-                    .mats
-                    .get(e)
-                    .unwrap_or_else(|| panic!("materialized node {e} not prepared"));
+                let table = self.mats.get(e).ok_or(ExecError::MissingMat(*e))?;
                 let batch = table.batch().clone().align(&plan.schema);
                 meter.charge_seq(self.model, batch.num_rows(), plan.schema.row_width());
-                batch
+                Ok(batch)
             }
             PlanNode::ReadDelta(e, u) => {
                 // Stored differentials are columnar: serving one is a
@@ -1076,17 +1189,20 @@ impl EvalCtx<'_> {
                 let batch = self
                     .delta_store
                     .get(&(*e, *u))
-                    .unwrap_or_else(|| panic!("δ({e},{u}) not stored"))
+                    .ok_or_else(|| ExecError::MissingDelta {
+                        node: *e,
+                        update: u.to_string(),
+                    })?
                     .clone()
                     .align(&plan.schema);
                 meter.charge_seq(self.model, batch.num_rows(), plan.schema.row_width());
-                batch
+                Ok(batch)
             }
             PlanNode::IndexScan { target, attr, pred } => {
                 self.eval_index_scan(plan, *target, *attr, pred, meter)
             }
             PlanNode::Filter { input, pred } => {
-                let mut batch = self.eval(input, meter);
+                let mut batch = self.eval(input, meter)?;
                 meter.charge_cpu(self.model, batch.num_rows());
                 let compiled = CompiledPredicate::compile(pred, batch.schema());
                 let n = batch.num_rows();
@@ -1105,23 +1221,28 @@ impl EvalCtx<'_> {
                             }
                         }
                         keep
-                    });
+                    })?;
                     let sel: Vec<u32> = kept.into_iter().flatten().flatten().collect();
                     batch.set_selection(sel);
                 } else {
                     let mut scratch = Vec::new();
                     batch.filter(&compiled, &mut scratch);
                 }
-                batch
+                Ok(batch)
             }
             PlanNode::Project { input, attrs } => {
-                let batch = self.eval(input, meter);
+                let batch = self.eval(input, meter)?;
                 meter.charge_cpu(self.model, batch.num_rows());
                 let positions: Vec<usize> = attrs
                     .iter()
-                    .map(|a| input.schema.position_of(*a).expect("project attr"))
-                    .collect();
-                batch.project(plan.schema.clone(), &positions)
+                    .map(|a| {
+                        input
+                            .schema
+                            .position_of(*a)
+                            .ok_or_else(|| ExecError::missing_attr(*a, "project"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                Ok(batch.project(plan.schema.clone(), &positions))
             }
             PlanNode::HashJoin {
                 build,
@@ -1153,7 +1274,7 @@ impl EvalCtx<'_> {
             PlanNode::UnionAll(inputs) => {
                 let mut out: Option<Batch> = None;
                 for i in inputs {
-                    let b = self.eval(i, meter).align(&plan.schema);
+                    let b = self.eval(i, meter)?.align(&plan.schema);
                     match &mut out {
                         None => out = Some(b),
                         Some(acc) => acc.append(&b),
@@ -1161,28 +1282,25 @@ impl EvalCtx<'_> {
                 }
                 let out = out.unwrap_or_else(|| Batch::empty(plan.schema.clone()));
                 meter.charge_cpu(self.model, out.num_rows());
-                out
+                Ok(out)
             }
             PlanNode::Minus { left, right } => {
                 // Columnar set difference: both sides stay batches; keys
                 // are hashed and compared by column position.
-                let l = self.eval(left, meter);
-                let r = self.eval(right, meter).align(&left.schema);
+                let l = self.eval(left, meter)?;
+                let r = self.eval(right, meter)?.align(&left.schema);
                 meter.charge_cpu(self.model, l.num_rows() + r.num_rows());
                 debug_assert_eq!(plan.schema.ids(), left.schema.ids());
-                l.minus(&r).align(&plan.schema)
+                Ok(l.minus(&r).align(&plan.schema))
             }
             PlanNode::Distinct { input } => self.eval_distinct(plan, input, meter),
         }
     }
 
-    fn stored(&self, target: StoredRef) -> &StoredTable {
+    fn stored(&self, target: StoredRef) -> Result<&StoredTable, ExecError> {
         match target {
-            StoredRef::Base(t) => self.db.base(t).expect("base table loaded"),
-            StoredRef::Mat(e) => self
-                .mats
-                .get(&e)
-                .unwrap_or_else(|| panic!("materialized node {e} not prepared")),
+            StoredRef::Base(t) => Ok(self.db.base(t)?),
+            StoredRef::Mat(e) => self.mats.get(&e).ok_or(ExecError::MissingMat(e)),
         }
     }
 
@@ -1193,7 +1311,7 @@ impl EvalCtx<'_> {
         attr: AttrId,
         pred: &Predicate,
         meter: &mut Meter,
-    ) -> Batch {
+    ) -> Result<Batch, ExecError> {
         // Equality probe when possible, else a filtered scan.
         let eq_value = pred.conjuncts().iter().find_map(|c| {
             if let ScalarExpr::Cmp {
@@ -1211,7 +1329,7 @@ impl EvalCtx<'_> {
                 None
             }
         });
-        let table = self.stored(target);
+        let table = self.stored(target)?;
         let schema = table.schema();
         let total = table.len();
         let mut batch = match eq_value.as_ref().and_then(|v| table.probe(attr, v)) {
@@ -1233,7 +1351,7 @@ impl EvalCtx<'_> {
             total,
             schema.row_width(),
         );
-        batch.align(&plan.schema)
+        Ok(batch.align(&plan.schema))
     }
 
     fn eval_hash_join(
@@ -1244,17 +1362,27 @@ impl EvalCtx<'_> {
         keys: &[(AttrId, AttrId)],
         residual: &Predicate,
         meter: &mut Meter,
-    ) -> Batch {
-        let build_b = self.eval(build, meter);
-        let probe_b = self.eval(probe, meter);
+    ) -> Result<Batch, ExecError> {
+        let build_b = self.eval(build, meter)?;
+        let probe_b = self.eval(probe, meter)?;
         let bcols: Vec<usize> = keys
             .iter()
-            .map(|(b, _)| build.schema.position_of(*b).expect("build key"))
-            .collect();
+            .map(|(b, _)| {
+                build
+                    .schema
+                    .position_of(*b)
+                    .ok_or_else(|| ExecError::missing_attr(*b, "hash-join"))
+            })
+            .collect::<Result<_, _>>()?;
         let pcols: Vec<usize> = keys
             .iter()
-            .map(|(_, p)| probe.schema.position_of(*p).expect("probe key"))
-            .collect();
+            .map(|(_, p)| {
+                probe
+                    .schema
+                    .position_of(*p)
+                    .ok_or_else(|| ExecError::missing_attr(*p, "hash-join"))
+            })
+            .collect::<Result<_, _>>()?;
         let combined = build.schema.concat(&probe.schema);
         let out_positions = positions_for(&combined, &plan.schema);
         let pairs = if self.threads > 1 && build_b.num_rows() + probe_b.num_rows() > MORSEL_ROWS {
@@ -1266,7 +1394,7 @@ impl EvalCtx<'_> {
                 residual,
                 &combined,
                 self.threads,
-            )
+            )?
         } else {
             hash_join_pairs(&build_b, &bcols, &probe_b, &pcols, residual, &combined)
         };
@@ -1274,13 +1402,13 @@ impl EvalCtx<'_> {
             self.model,
             build_b.num_rows() + probe_b.num_rows() + pairs.len(),
         );
-        Batch::gather_pairs(
+        Ok(Batch::gather_pairs(
             &build_b,
             &probe_b,
             &pairs,
             plan.schema.clone(),
             &out_positions,
-        )
+        ))
     }
 
     fn eval_merge_join(
@@ -1291,17 +1419,26 @@ impl EvalCtx<'_> {
         keys: &[(AttrId, AttrId)],
         residual: &Predicate,
         meter: &mut Meter,
-    ) -> Batch {
-        let l_b = self.eval(left, meter);
-        let r_b = self.eval(right, meter);
+    ) -> Result<Batch, ExecError> {
+        let l_b = self.eval(left, meter)?;
+        let r_b = self.eval(right, meter)?;
         let lcols: Vec<usize> = keys
             .iter()
-            .map(|(l, _)| left.schema.position_of(*l).expect("left key"))
-            .collect();
+            .map(|(l, _)| {
+                left.schema
+                    .position_of(*l)
+                    .ok_or_else(|| ExecError::missing_attr(*l, "merge-join"))
+            })
+            .collect::<Result<_, _>>()?;
         let rcols: Vec<usize> = keys
             .iter()
-            .map(|(_, r)| right.schema.position_of(*r).expect("right key"))
-            .collect();
+            .map(|(_, r)| {
+                right
+                    .schema
+                    .position_of(*r)
+                    .ok_or_else(|| ExecError::missing_attr(*r, "merge-join"))
+            })
+            .collect::<Result<_, _>>()?;
         // Sort *positions* by key (values never move).
         let mut lidx = l_b.positions();
         lidx.sort_by(|&a, &b| l_b.cmp_keys(a, &lcols, &l_b, b, &lcols));
@@ -1359,7 +1496,13 @@ impl EvalCtx<'_> {
             }
         }
         meter.charge_cpu(self.model, pairs.len());
-        Batch::gather_pairs(&l_b, &r_b, &pairs, plan.schema.clone(), &out_positions)
+        Ok(Batch::gather_pairs(
+            &l_b,
+            &r_b,
+            &pairs,
+            plan.schema.clone(),
+            &out_positions,
+        ))
     }
 
     fn eval_nl_join(
@@ -1369,9 +1512,9 @@ impl EvalCtx<'_> {
         right: &PhysPlan,
         pred: &Predicate,
         meter: &mut Meter,
-    ) -> Batch {
-        let l_b = self.eval(left, meter);
-        let r_b = self.eval(right, meter);
+    ) -> Result<Batch, ExecError> {
+        let l_b = self.eval(left, meter)?;
+        let r_b = self.eval(right, meter)?;
         let combined = left.schema.concat(&right.schema);
         let out_positions = positions_for(&combined, &plan.schema);
         let mut pairs: Vec<(u32, u32)> = Vec::new();
@@ -1393,7 +1536,13 @@ impl EvalCtx<'_> {
             self.model,
             l_b.num_rows() * r_b.num_rows().max(1) / 10 + pairs.len(),
         );
-        Batch::gather_pairs(&l_b, &r_b, &pairs, plan.schema.clone(), &out_positions)
+        Ok(Batch::gather_pairs(
+            &l_b,
+            &r_b,
+            &pairs,
+            plan.schema.clone(),
+            &out_positions,
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1406,19 +1555,24 @@ impl EvalCtx<'_> {
         inner_filter: &Predicate,
         residual: &Predicate,
         meter: &mut Meter,
-    ) -> Batch {
-        let outer_b = self.eval(outer, meter);
-        let okey_col = outer.schema.position_of(keys.0).expect("outer key");
+    ) -> Result<Batch, ExecError> {
+        let outer_b = self.eval(outer, meter)?;
+        let okey_col = outer
+            .schema
+            .position_of(keys.0)
+            .ok_or_else(|| ExecError::missing_attr(keys.0, "index-nl-join"))?;
         // The inner is probed *in place* through its index, against its
         // columnar image — no snapshot and no row materialization.
         // `Runtime::prepare` already created the index the optimizer
         // assumed.
-        let inner_table = self.stored(inner);
+        let inner_table = self.stored(inner)?;
         let inner_schema = inner_table.schema();
         let inner_b = inner_table.batch();
         let idx = inner_table
             .index_on(keys.1)
-            .expect("inner index prepared before evaluation");
+            .ok_or_else(|| ExecError::MissingIndex {
+                target: format!("{inner:?}"),
+            })?;
         let inner_compiled = (!inner_filter.is_true())
             .then(|| CompiledPredicate::compile(inner_filter, inner_schema));
         let combined = outer.schema.concat(inner_schema);
@@ -1478,7 +1632,7 @@ impl EvalCtx<'_> {
                 }
             })
             .collect();
-        Batch::from_columns(plan.schema.clone(), columns)
+        Ok(Batch::from_columns(plan.schema.clone(), columns))
     }
 
     /// Columnar grouped aggregation. Two column-at-a-time passes replace
@@ -1502,13 +1656,18 @@ impl EvalCtx<'_> {
         group_by: &[AttrId],
         aggs: &[AggSpec],
         meter: &mut Meter,
-    ) -> Batch {
-        let in_b = self.eval(input, meter);
+    ) -> Result<Batch, ExecError> {
+        let in_b = self.eval(input, meter)?;
         meter.charge_cpu(self.model, in_b.num_rows());
         let key_cols: Vec<usize> = group_by
             .iter()
-            .map(|g| input.schema.position_of(*g).expect("group attr"))
-            .collect();
+            .map(|g| {
+                input
+                    .schema
+                    .position_of(*g)
+                    .ok_or_else(|| ExecError::missing_attr(*g, "hash-aggregate"))
+            })
+            .collect::<Result<_, _>>()?;
         let n = in_b.num_rows();
         if self.threads > 1 && n > MORSEL_ROWS {
             return hash_aggregate_parallel(
@@ -1549,11 +1708,16 @@ impl EvalCtx<'_> {
             .map(|&c| in_b.column(c).gather(&rep_order))
             .chain(agg_columns.iter().map(|c| c.gather(&order)))
             .collect();
-        Batch::from_columns(plan.schema.clone(), columns)
+        Ok(Batch::from_columns(plan.schema.clone(), columns))
     }
 
-    fn eval_distinct(&self, plan: &PhysPlan, input: &PhysPlan, meter: &mut Meter) -> Batch {
-        let in_b = self.eval(input, meter);
+    fn eval_distinct(
+        &self,
+        plan: &PhysPlan,
+        input: &PhysPlan,
+        meter: &mut Meter,
+    ) -> Result<Batch, ExecError> {
+        let in_b = self.eval(input, meter)?;
         meter.charge_cpu(self.model, in_b.num_rows());
         let all_cols: Vec<usize> = (0..in_b.schema().len()).collect();
         let mut buckets: U64Map<Vec<u32>> = u64_map_with_capacity(in_b.num_rows().min(1 << 16));
@@ -1576,7 +1740,7 @@ impl EvalCtx<'_> {
         let columns: Vec<Column> = (0..in_b.schema().len())
             .map(|c| in_b.column(c).gather(&reps))
             .collect();
-        Batch::from_columns(plan.schema.clone(), columns)
+        Ok(Batch::from_columns(plan.schema.clone(), columns))
     }
 }
 
@@ -1645,7 +1809,7 @@ fn hash_join_pairs_parallel(
     residual: &Predicate,
     combined: &Schema,
     threads: usize,
-) -> Vec<(u32, u32)> {
+) -> Result<Vec<(u32, u32)>, ExecError> {
     let nb = build_b.num_rows();
     // Phase 1: per-row build hashes (NULL keys flagged; they match nothing).
     let branges = morsel_ranges(nb);
@@ -1661,7 +1825,7 @@ fn hash_join_pairs_parallel(
                 }
             })
             .collect::<Vec<_>>()
-    });
+    })?;
     let bh: Vec<(u32, u64, bool)> = bh_chunks.into_iter().flatten().flatten().collect();
     // Phase 2: hash-partitioned build, one worker per partition. Each
     // partition walks the precomputed hashes in scan order, so within any
@@ -1675,7 +1839,7 @@ fn hash_join_pairs_parallel(
             }
         }
         t
-    });
+    })?;
     let tables: Vec<U64Map<Vec<u32>>> = tables.into_iter().flatten().collect();
     // Phase 3: parallel probe by morsel; morsel-order concatenation.
     let pranges = morsel_ranges(probe_b.num_rows());
@@ -1704,8 +1868,8 @@ fn hash_join_pairs_parallel(
             }
         }
         pairs
-    });
-    chunks.into_iter().flatten().flatten().collect()
+    })?;
+    Ok(chunks.into_iter().flatten().flatten().collect())
 }
 
 /// Group-id assignment over an explicit physical row list: one id per row,
@@ -1775,7 +1939,7 @@ fn hash_aggregate_parallel(
     key_cols: &[usize],
     aggs: &[AggSpec],
     threads: usize,
-) -> Batch {
+) -> Result<Batch, ExecError> {
     let n = in_b.num_rows();
     // Phase 1: per-row key hashes, parallel by morsel.
     let ranges = morsel_ranges(n);
@@ -1787,7 +1951,7 @@ fn hash_aggregate_parallel(
                 (phys, in_b.hash_keys(phys, key_cols))
             })
             .collect::<Vec<_>>()
-    });
+    })?;
     let hashed: Vec<(u32, u64)> = hashed.into_iter().flatten().flatten().collect();
     // Phase 2: one worker per hash partition — group assignment plus every
     // aggregate kernel over that partition's rows (in global scan order, so
@@ -1806,7 +1970,7 @@ fn hash_aggregate_parallel(
             .map(|spec| agg_kernel(in_b, input_schema, spec, &rows, &gids, ngroups))
             .collect();
         (reps, cols)
-    });
+    })?;
     let parts: Vec<(Vec<u32>, Vec<Column>)> = parts.into_iter().flatten().collect();
     // Merge: groups are disjoint across partitions; sort them all by key.
     let mut order: Vec<(usize, u32)> = parts
@@ -1837,7 +2001,7 @@ fn hash_aggregate_parallel(
         }
         columns.push(out);
     }
-    Batch::from_columns(plan.schema.clone(), columns)
+    Ok(Batch::from_columns(plan.schema.clone(), columns))
 }
 
 /// One aggregate's columnar update kernel: walk the input column once,
@@ -2139,14 +2303,17 @@ fn concat_row(left: &Batch, l: u32, right: &Batch, r: u32, buf: &mut Vec<Value>)
 /// the budget between root workers and intra-operator morsels. Results come
 /// back in plan order, each with its own meter so charges can be absorbed
 /// deterministically by the caller.
-pub(crate) fn eval_parallel(rt: &Runtime<'_>, plans: &[&PhysPlan]) -> Vec<(Batch, Meter)> {
+pub(crate) fn eval_parallel(
+    rt: &Runtime<'_>,
+    plans: &[&PhysPlan],
+) -> Result<Vec<(Batch, Meter)>, ExecError> {
     if plans.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     if plans.len() == 1 {
         let mut m = Meter::new();
-        let b = rt.eval_ctx().eval(plans[0], &mut m);
-        return vec![(b, m)];
+        let b = rt.eval_ctx().eval(plans[0], &mut m)?;
+        return Ok(vec![(b, m)]);
     }
     let threads = rt.threads().max(1);
     let workers = plans.len().min(threads);
@@ -2157,31 +2324,66 @@ pub(crate) fn eval_parallel(rt: &Runtime<'_>, plans: &[&PhysPlan]) -> Vec<(Batch
         ..rt.eval_ctx()
     };
     let mut slots: Vec<Option<(Batch, Meter)>> = (0..plans.len()).map(|_| None).collect();
+    let cancel = &AtomicBool::new(false);
+    let mut first_err: Option<ExecError> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                s.spawn(move || {
+                s.spawn(move || -> Result<Vec<(usize, Batch, Meter)>, ExecError> {
                     let mut out = Vec::new();
                     let mut i = w;
                     while i < plans.len() {
+                        if cancel.load(AtomicOrder::Relaxed) {
+                            break;
+                        }
                         let mut m = Meter::new();
-                        let b = ctx.eval(plans[i], &mut m);
-                        out.push((i, b, m));
+                        // A panicking operator (or an armed panic-mode
+                        // fault) must not tear the scope down: forward it
+                        // as an error and cancel the remaining roots.
+                        match catch_unwind(AssertUnwindSafe(|| ctx.eval(plans[i], &mut m))) {
+                            Ok(Ok(b)) => out.push((i, b, m)),
+                            Ok(Err(e)) => {
+                                cancel.store(true, AtomicOrder::Relaxed);
+                                return Err(e);
+                            }
+                            Err(payload) => {
+                                cancel.store(true, AtomicOrder::Relaxed);
+                                return Err(ExecError::WorkerPanic {
+                                    message: panic_message(payload.as_ref()),
+                                });
+                            }
+                        }
                         i += workers;
                     }
-                    out
+                    Ok(out)
                 })
             })
             .collect();
         for h in handles {
-            for (i, b, m) in h.join().expect("executor worker thread panicked") {
-                slots[i] = Some((b, m));
+            match h.join() {
+                Ok(Ok(chunk)) => {
+                    for (i, b, m) in chunk {
+                        slots[i] = Some((b, m));
+                    }
+                }
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(payload) => {
+                    first_err.get_or_insert(ExecError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
             }
         }
     });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
     slots
         .into_iter()
-        .map(|s| s.expect("every plan evaluated"))
+        .enumerate()
+        .map(|(i, s)| s.ok_or_else(|| ExecError::invariant(format!("plan {i} was not evaluated"))))
         .collect()
 }
 

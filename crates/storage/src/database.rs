@@ -16,7 +16,12 @@ use mvmqo_relalg::stats::RelStats;
 use std::collections::HashMap;
 
 /// In-memory database instance.
-#[derive(Debug, Default)]
+///
+/// Cloning is cheap: every [`StoredTable`] clones as a handle copy
+/// (columns, row caches, and indices are `Arc`-shared and copy-on-write),
+/// so a full-database clone is O(tables × width). Transactional epochs
+/// rely on this to stage the next state and install it by swap.
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     base: HashMap<TableId, StoredTable>,
     mats: HashMap<String, StoredTable>,

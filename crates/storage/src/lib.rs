@@ -18,7 +18,10 @@
 //! * [`crc`], [`wal`], [`snapshot`], [`failpoint`] — the durability layer:
 //!   CRC-framed write-ahead logging of delta batches, atomic columnar
 //!   snapshots with a recovery manifest, and deterministic fault injection
-//!   for crash-recovery tests.
+//!   for crash-recovery tests,
+//! * [`faults`] — live fault injection: an ordinal-addressed registry of
+//!   named sites threaded through the executor and the warehouse, firing
+//!   armed faults as typed errors or panics for the chaos tests.
 
 pub mod blocks;
 pub mod crc;
@@ -26,6 +29,7 @@ pub mod database;
 pub mod delta;
 pub mod error;
 pub mod failpoint;
+pub mod faults;
 pub mod index;
 pub mod snapshot;
 pub mod table;
@@ -36,6 +40,7 @@ pub use database::Database;
 pub use delta::{DeltaBatch, DeltaKind, DeltaSet};
 pub use error::{RecoveryError, StorageError};
 pub use failpoint::FailpointFile;
+pub use faults::{FaultError, FaultMode, FaultPlan, FaultRegistry, FaultTrigger, FiredFault};
 pub use index::{Index, IndexKind};
 pub use snapshot::Manifest;
 pub use table::StoredTable;

@@ -22,9 +22,16 @@ use mvmqo_relalg::batch::Batch;
 use mvmqo_relalg::schema::{AttrId, Schema};
 use mvmqo_relalg::tuple::Tuple;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// An in-memory multiset relation with optional secondary indices.
+///
+/// Cloning a `StoredTable` is cheap — a handle copy, not a data copy: the
+/// columnar image `Arc`-shares its columns, the derived row cache and the
+/// indices are `Arc`-shared wholesale, and mutation copy-on-writes only
+/// what it touches ([`Arc::make_mut`] on indices, a fresh cell for the row
+/// cache). This is what makes staging a whole [`Database`](crate::Database)
+/// for a transactional epoch affordable.
 #[derive(Debug, Clone)]
 pub struct StoredTable {
     schema: Schema,
@@ -36,9 +43,10 @@ pub struct StoredTable {
     /// mutation copy-on-writes only the touched columns.
     batch: Batch,
     /// Lazily derived row-major view for user-facing output and legacy
-    /// row consumers; invalidated by every mutation.
-    rows: OnceLock<Vec<Tuple>>,
-    indices: HashMap<AttrId, Index>,
+    /// row consumers; invalidated (replaced with a fresh shared cell, so
+    /// clones keep theirs) by every mutation.
+    rows: Arc<OnceLock<Vec<Tuple>>>,
+    indices: HashMap<AttrId, Arc<Index>>,
 }
 
 impl Default for StoredTable {
@@ -54,7 +62,7 @@ impl StoredTable {
             // rows intern instead of landing in a plain string vector.
             batch: Batch::empty(schema.clone()).dict_encoded(),
             schema,
-            rows: OnceLock::new(),
+            rows: Arc::new(OnceLock::new()),
             indices: HashMap::new(),
         }
     }
@@ -67,7 +75,7 @@ impl StoredTable {
         StoredTable {
             batch,
             schema,
-            rows: cache,
+            rows: Arc::new(cache),
             indices: HashMap::new(),
         }
     }
@@ -80,7 +88,7 @@ impl StoredTable {
         StoredTable {
             schema: batch.schema().clone(),
             batch,
-            rows: OnceLock::new(),
+            rows: Arc::new(OnceLock::new()),
             indices: HashMap::new(),
         }
     }
@@ -107,8 +115,9 @@ impl StoredTable {
     /// Replace the full contents (recomputation path of view refresh).
     pub fn replace_rows(&mut self, rows: Vec<Tuple>) {
         self.batch = Batch::from_rows(self.schema.clone(), &rows).dict_encoded();
-        self.rows = OnceLock::new();
-        let _ = self.rows.set(rows);
+        let cache = OnceLock::new();
+        let _ = cache.set(rows);
+        self.rows = Arc::new(cache);
         self.rebuild_indices();
     }
 
@@ -116,7 +125,7 @@ impl StoredTable {
     pub fn replace_batch(&mut self, batch: Batch) {
         debug_assert_eq!(batch.schema().ids(), self.schema.ids());
         self.batch = batch.compact().dict_encoded();
-        self.rows = OnceLock::new();
+        self.rows = Arc::new(OnceLock::new());
         self.rebuild_indices();
     }
 
@@ -144,13 +153,13 @@ impl StoredTable {
             let attrs: Vec<AttrId> = self.indices.keys().copied().collect();
             for attr in attrs {
                 let pos = self.schema.position_of(attr).expect("index attr in schema");
-                let idx = self.indices.get_mut(&attr).expect("listed index");
+                let idx = Arc::make_mut(self.indices.get_mut(&attr).expect("listed index"));
                 for (k, row) in delta.inserts.iter().enumerate() {
                     idx.insert(&row[pos], (start + k) as u32);
                 }
             }
         }
-        self.rows = OnceLock::new();
+        self.rows = Arc::new(OnceLock::new());
     }
 
     /// Columnar-side delta application: the maintained-result merge path.
@@ -159,7 +168,7 @@ impl StoredTable {
     pub fn apply_batch_delta(&mut self, inserts: Option<&Batch>, deletes: Option<&Batch>) {
         if let Some(deletes) = deletes.filter(|d| d.num_rows() > 0) {
             if self.delete_batch(deletes) {
-                self.rows = OnceLock::new();
+                self.rows = Arc::new(OnceLock::new());
             }
         }
         if let Some(inserts) = inserts.filter(|i| i.num_rows() > 0) {
@@ -167,6 +176,7 @@ impl StoredTable {
             let start = self.batch.num_rows();
             self.batch.append(inserts);
             for idx in self.indices.values_mut() {
+                let idx = Arc::make_mut(idx);
                 let pos = self
                     .schema
                     .position_of(idx.attr)
@@ -176,7 +186,7 @@ impl StoredTable {
                     idx.insert(&inserts.column(pos).value(phys), (start + i) as u32);
                 }
             }
-            self.rows = OnceLock::new();
+            self.rows = Arc::new(OnceLock::new());
         }
     }
 
@@ -194,7 +204,7 @@ impl StoredTable {
             map[old as usize] = new as u32;
         }
         for idx in self.indices.values_mut() {
-            idx.remap_positions(&map);
+            Arc::make_mut(idx).remap_positions(&map);
         }
         self.batch = self.batch.gather_physical(&keep);
         true
@@ -225,7 +235,7 @@ impl StoredTable {
             .position_of(attr)
             .unwrap_or_else(|| panic!("cannot index {attr}: not in schema"));
         let idx = Index::build_from_column(attr, kind, self.batch.column(pos));
-        self.indices.insert(attr, idx);
+        self.indices.insert(attr, Arc::new(idx));
     }
 
     pub fn drop_index(&mut self, attr: AttrId) {
@@ -233,7 +243,7 @@ impl StoredTable {
     }
 
     pub fn index_on(&self, attr: AttrId) -> Option<&Index> {
-        self.indices.get(&attr)
+        self.indices.get(&attr).map(|idx| idx.as_ref())
     }
 
     pub fn indexed_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
@@ -286,7 +296,7 @@ impl StoredTable {
             let pos = self.schema.position_of(attr).expect("index attr in schema");
             self.indices.insert(
                 attr,
-                Index::build_from_column(attr, kind, self.batch.column(pos)),
+                Arc::new(Index::build_from_column(attr, kind, self.batch.column(pos))),
             );
         }
     }
@@ -478,6 +488,27 @@ mod tests {
         let hits = tab.probe(AttrId(0), &Value::Int(2)).unwrap();
         assert_eq!(hits, &[1, 2]);
         assert!(tab.probe(AttrId(0), &Value::Int(7)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut tab = StoredTable::with_rows(schema(), vec![t(1, 1), t(2, 2)]);
+        tab.create_index(AttrId(0), IndexKind::Hash);
+        let snapshot = tab.clone();
+        tab.apply_delta(&DeltaBatch::new(vec![t(3, 3)], vec![t(1, 1)]));
+        // Mutating the original must not leak into the clone…
+        assert!(bag_eq(snapshot.rows(), &[t(1, 1), t(2, 2)]));
+        let idx = snapshot.index_on(AttrId(0)).unwrap();
+        assert_eq!(idx.entries(), 2);
+        assert_eq!(idx.lookup_eq(&Value::Int(1)).len(), 1);
+        // …while the original sees its own mutation.
+        assert!(bag_eq(tab.rows(), &[t(2, 2), t(3, 3)]));
+        assert_eq!(tab.index_on(AttrId(0)).unwrap().entries(), 2);
+        assert!(tab
+            .index_on(AttrId(0))
+            .unwrap()
+            .lookup_eq(&Value::Int(1))
+            .is_empty());
     }
 
     #[test]

@@ -22,8 +22,8 @@ use mvmqo_core::session::{Optimizer, PlanMode};
 use mvmqo_core::update::UpdateModel;
 use mvmqo_core::EqId;
 use mvmqo_exec::{
-    align_rows, eval_logical, execute_epoch_opts, index_plan_from_report, ExecOptions, IndexPlan,
-    RuntimeState,
+    align_rows, eval_logical, execute_epoch_faults, index_plan_from_report, panic_message,
+    ExecOptions, IndexPlan, RuntimeState,
 };
 use mvmqo_relalg::catalog::{Catalog, TableId};
 use mvmqo_relalg::logical::ViewDef;
@@ -33,9 +33,11 @@ use mvmqo_relalg::Batch;
 use mvmqo_storage::database::Database;
 use mvmqo_storage::delta::{DeltaBatch, DeltaSet};
 use mvmqo_storage::error::{RecoveryError, StorageError};
+use mvmqo_storage::faults::FaultRegistry;
 use mvmqo_storage::snapshot::{self, Manifest};
 use mvmqo_storage::wal::{scan_wal, WalRecord, WalWriter};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -120,6 +122,21 @@ pub struct RecoveryInfo {
     pub selection_match: bool,
 }
 
+/// Why the most recent epoch abort happened: which fault site failed, the
+/// rendered cause, and the epoch that was being attempted. Kept until the
+/// next abort overwrites it and surfaced by `explain` — an aborted epoch
+/// leaves no other trace in the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbortInfo {
+    /// The epoch the aborted transaction was trying to commit
+    /// (pre-epoch + 1; the engine is still at pre-epoch).
+    pub epoch: u64,
+    /// Fault-site label (e.g. `"exec:hash-join"`, `"wal:commit"`).
+    pub site: String,
+    /// Human-readable cause (the underlying error or panic message).
+    pub cause: String,
+}
+
 /// A served query: rows plus provenance and staleness.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -168,6 +185,14 @@ pub struct Warehouse {
     durability: Option<Durability>,
     /// Present only on engines built by [`Warehouse::recover`].
     recovered: Option<RecoveryInfo>,
+    /// Engine-wide fault-injection registry: threaded through the executor
+    /// and crossed at every durability boundary. Inert unless a chaos test
+    /// or the `chaos` script command arms it.
+    faults: FaultRegistry,
+    /// The most recent epoch abort, if any.
+    last_abort: Option<AbortInfo>,
+    /// Epochs aborted (and left retryable) over the engine's lifetime.
+    epochs_aborted: u64,
 }
 
 impl Warehouse {
@@ -200,6 +225,9 @@ impl Warehouse {
             replans: Vec::new(),
             durability: None,
             recovered: None,
+            faults: FaultRegistry::new(),
+            last_abort: None,
+            epochs_aborted: 0,
         }
     }
 
@@ -267,6 +295,9 @@ impl Warehouse {
 
     /// Register a view. Triggers MQO re-optimization over the whole view
     /// set (§6: the selection is a property of the *set*, not the view).
+    // Invariant, not input handling: `replan` just ran over a non-empty
+    // view set, which always installs a plan.
+    #[allow(clippy::expect_used)]
     pub fn register_view(&mut self, view: ViewDef) -> Result<&OptimizerReport, WarehouseError> {
         if self.views.iter().any(|v| v.name == view.name) {
             return Err(WarehouseError::DuplicateView(view.name));
@@ -396,6 +427,8 @@ impl Warehouse {
 
     /// Build (once per epoch, on demand) the availability counts for a
     /// table: stored multiplicities plus the already-queued batch.
+    // Invariant: the entry was inserted two lines above the lookup.
+    #[allow(clippy::expect_used)]
     fn ensure_avail(&mut self, table: TableId) -> Result<&HashMap<Tuple, i64>, WarehouseError> {
         if !self.avail_cache.contains_key(&table) {
             let mut counts: HashMap<Tuple, i64> = HashMap::new();
@@ -419,15 +452,48 @@ impl Warehouse {
     // Epochs
     // ==================================================================
 
-    /// Run one maintenance epoch: decide whether drift justifies
-    /// re-optimization, then execute the (possibly new) shared maintenance
-    /// program over the queued deltas, persisting materializations and
-    /// indices for the next epoch.
+    /// Run one maintenance epoch as a transaction: decide whether drift
+    /// justifies re-optimization, execute the (possibly new) shared
+    /// maintenance program against *staged* copies of the database and
+    /// runtime state, write the WAL commit record, and only then install
+    /// the staged state. The order is the contract:
+    ///
+    /// 1. **Stage** — the executor runs against copy-on-write clones of
+    ///    the database and the plan's runtime state; pre-epoch state is
+    ///    never touched. Executor errors *and panics* are caught here.
+    /// 2. **Commit** — the `EpochCommit` record is appended (and flushed)
+    ///    to the WAL. A crash after this point recovers *into* the epoch;
+    ///    a crash before it recovers to the pre-epoch state with the
+    ///    epoch's ingests still queued.
+    /// 3. **Install** — the staged database and runtime state replace the
+    ///    live ones in one swap; the remaining bookkeeping is infallible.
+    ///
+    /// Any failure in steps 1–2 drops the staged clones and returns
+    /// [`WarehouseError::EpochAborted`]: the engine still serves exact
+    /// pre-epoch answers, the pending delta queue is intact, and calling
+    /// `run_epoch` again retries the same transaction.
+    // Invariant: the views-exist branch replans when no plan is installed,
+    // and `replan` over a non-empty view set always installs one.
+    #[allow(clippy::expect_used)]
     pub fn run_epoch(&mut self) -> Result<EpochReport, WarehouseError> {
         let ingested = self.pending.total_tuples();
         if self.views.is_empty() {
-            // Nothing to maintain: apply the deltas and move on.
-            self.db.apply_all(&self.pending)?;
+            // Nothing to maintain — but `apply_all` can still fail partway
+            // through the pending set, so even this fast path stages the
+            // application on a (cheap, copy-on-write) clone and commits it
+            // through the same protocol as a full epoch.
+            let mut staged_db = self.db.clone();
+            if let Err(f) = self.faults.hit("db:apply-all") {
+                return Err(self.abort_epoch("db:apply-all", f.to_string()));
+            }
+            if let Err(e) = staged_db.apply_all(&self.pending) {
+                return Err(self.abort_epoch("db:apply-all", e.to_string()));
+            }
+            if let Err(e) = self.commit_epoch_wal() {
+                return Err(self.abort_epoch("wal:commit", e.to_string()));
+            }
+            self.post_commit_crash_point();
+            self.db = staged_db;
             let report = EpochReport {
                 epoch: self.epoch + 1,
                 replanned: None,
@@ -440,10 +506,13 @@ impl Warehouse {
                 forced_recomputes: 0,
             };
             self.finish_epoch(report.clone());
-            self.wal_commit_epoch()?;
             return Ok(report);
         }
 
+        // Replanning happens outside the transaction: it only mutates the
+        // optimizer session and catalog statistics, never the data an
+        // abort must preserve, and redoing it on retry would be wasted
+        // work (the trigger condition would have cleared).
         let replanned = match self.replan_trigger() {
             Some(trigger) => {
                 self.replan(trigger);
@@ -452,18 +521,55 @@ impl Warehouse {
             None => None,
         };
 
+        // Stage: run the whole epoch against clones. Stored tables are
+        // copy-on-write (`Arc`-shared rows and indices), so the clones are
+        // O(#tables), not O(#rows).
+        let plan = self.plan.as_ref().expect("views exist, so a plan exists");
+        let mut staged_db = self.db.clone();
+        let mut staged_state = plan.state.clone();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            execute_epoch_faults(
+                self.optimizer.dag(),
+                &self.catalog,
+                self.cost_model,
+                &mut staged_db,
+                &self.pending,
+                &plan.report.program,
+                &plan.index_plan,
+                &mut staged_state,
+                self.exec_options,
+                &self.faults,
+            )
+        }));
+        let exec = match caught {
+            Ok(Ok(exec)) => exec,
+            Ok(Err(e)) => {
+                let site = e.site();
+                return Err(self.abort_epoch(site, e.to_string()));
+            }
+            Err(payload) => {
+                // A panicking operator (injected or real) unwinds only to
+                // here; the staged clones absorb whatever it half-did.
+                let cause = panic_message(payload.as_ref());
+                let site = self
+                    .faults
+                    .fired()
+                    .map(|f| f.site)
+                    .unwrap_or_else(|| "exec:panic".to_string());
+                return Err(self.abort_epoch(site, cause));
+            }
+        };
+
+        // Commit: the durable record precedes every in-memory mutation.
+        if let Err(e) = self.commit_epoch_wal() {
+            return Err(self.abort_epoch("wal:commit", e.to_string()));
+        }
+        self.post_commit_crash_point();
+
+        // Install: from here on, nothing can fail.
+        self.db = staged_db;
         let plan = self.plan.as_mut().expect("views exist, so a plan exists");
-        let exec = execute_epoch_opts(
-            self.optimizer.dag(),
-            &self.catalog,
-            self.cost_model,
-            &mut self.db,
-            &self.pending,
-            &plan.report.program,
-            &plan.index_plan,
-            &mut plan.state,
-            self.exec_options,
-        );
+        plan.state = staged_state;
         plan.epochs_run += 1;
         let report = EpochReport {
             epoch: self.epoch + 1,
@@ -477,8 +583,31 @@ impl Warehouse {
             forced_recomputes: exec.forced_recomputes,
         };
         self.finish_epoch(report.clone());
-        self.wal_commit_epoch()?;
         Ok(report)
+    }
+
+    /// Record a pre-commit abort and build the typed error. The caller has
+    /// already dropped the staged clones; live state and the pending queue
+    /// are untouched, so the same epoch can simply be retried.
+    fn abort_epoch(&mut self, site: impl Into<String>, cause: String) -> WarehouseError {
+        let (epoch, site) = (self.epoch + 1, site.into());
+        self.epochs_aborted += 1;
+        self.last_abort = Some(AbortInfo {
+            epoch,
+            site: site.clone(),
+            cause: cause.clone(),
+        });
+        WarehouseError::EpochAborted { epoch, site, cause }
+    }
+
+    /// Crossed between the durable WAL commit and the in-memory install.
+    /// Past the commit point there is no clean abort left — an injected
+    /// fault here models process death, so it always escalates to a panic,
+    /// and recovery must land *on* the committed epoch.
+    fn post_commit_crash_point(&self) {
+        if let Err(f) = self.faults.hit("epoch:post-commit") {
+            panic!("injected crash after WAL commit: {f}");
+        }
     }
 
     /// Bookkeeping common to every epoch: observed-rate EMA (tables absent
@@ -493,7 +622,9 @@ impl Warehouse {
             }
         }
         for &t in &present {
-            let batch = self.pending.get(t).expect("listed table");
+            let Some(batch) = self.pending.get(t) else {
+                continue;
+            };
             let (ins, del) = (batch.inserts.len() as f64, batch.deletes.len() as f64);
             let entry = self.observed.entry(t).or_insert((ins, del));
             entry.0 = 0.5 * entry.0 + 0.5 * ins;
@@ -634,8 +765,9 @@ impl Warehouse {
     fn update_model(&self) -> UpdateModel {
         let mut per_table: BTreeMap<TableId, (f64, f64)> = self.observed.clone();
         for t in self.pending.tables() {
-            let b = self.pending.get(t).expect("listed table");
-            per_table.insert(t, (b.inserts.len() as f64, b.deletes.len() as f64));
+            if let Some(b) = self.pending.get(t) {
+                per_table.insert(t, (b.inserts.len() as f64, b.deletes.len() as f64));
+            }
         }
         UpdateModel::new(per_table.into_iter().map(|(t, (i, d))| (t, i, d)))
     }
@@ -688,6 +820,12 @@ impl Warehouse {
     /// prune superseded segments, and attach the new segment as the live
     /// durability state.
     fn checkpoint(&mut self, dir: PathBuf, seq: u64) -> Result<PathBuf, WarehouseError> {
+        // Crossed before anything is captured or written: an injected
+        // snapshot failure leaves both the engine and the directory's
+        // previous segment pair untouched.
+        self.faults
+            .hit("snapshot:write")
+            .map_err(|f| WarehouseError::Durability(f.to_string()))?;
         let data = self.snapshot_data();
         let snap_name = format!("snapshot-{seq}.img");
         let wal_name = format!("wal-{seq}.log");
@@ -729,8 +867,7 @@ impl Warehouse {
             .tables()
             .iter()
             .map(|t| t.id)
-            .filter(|id| self.db.has_base(*id))
-            .map(|id| (id, self.db.base(id).expect("has_base checked").clone()))
+            .filter_map(|id| self.db.base(id).ok().map(|t| (id, t.clone())))
             .collect();
         let observed = self
             .observed
@@ -740,14 +877,14 @@ impl Warehouse {
         let pending = self
             .pending
             .tables()
-            .map(|t| {
-                let b = self.pending.get(t).expect("listed table");
+            .filter_map(|t| {
+                let b = self.pending.get(t)?;
                 let schema = self.catalog.table(t).schema.clone();
-                (
+                Some((
                     t,
                     Batch::from_rows(schema.clone(), &b.inserts),
                     Batch::from_rows(schema, &b.deletes),
-                )
+                ))
             })
             .collect();
         let mut view_mats = Vec::new();
@@ -779,6 +916,11 @@ impl Warehouse {
     }
 
     fn wal_append(&mut self, rec: &WalRecord) -> Result<(), WarehouseError> {
+        if self.durability.is_some() {
+            self.faults
+                .hit("wal:append")
+                .map_err(|f| WarehouseError::Durability(f.to_string()))?;
+        }
         if let Some(d) = self.durability.as_mut() {
             d.wal
                 .append(rec)
@@ -788,9 +930,14 @@ impl Warehouse {
     }
 
     /// Append the epoch-commit record that makes the epoch's ingests
-    /// replayable as one atomic refresh.
-    fn wal_commit_epoch(&mut self) -> Result<(), WarehouseError> {
-        let epoch = self.epoch;
+    /// replayable as one atomic refresh. Called *before* the staged state
+    /// is installed — the durable record is the transaction's commit
+    /// point — so it logs the epoch the engine is about to enter.
+    fn commit_epoch_wal(&mut self) -> Result<(), WarehouseError> {
+        self.faults
+            .hit("wal:commit")
+            .map_err(|f| WarehouseError::Durability(f.to_string()))?;
+        let epoch = self.epoch + 1;
         self.wal_append(&WalRecord::EpochCommit { epoch })
     }
 
@@ -1118,6 +1265,15 @@ impl Warehouse {
         }
         out.push_str(&self.durability_status());
         out.push('\n');
+        if self.epochs_aborted > 0 {
+            out.push_str(&format!("epochs aborted: {}\n", self.epochs_aborted));
+        }
+        if let Some(a) = &self.last_abort {
+            out.push_str(&format!(
+                "last abort: epoch {} at {} ({}); pre-epoch state retained, retry with `epoch`\n",
+                a.epoch, a.site, a.cause
+            ));
+        }
         if let Some(info) = &self.recovered {
             out.push_str(&format!(
                 "recovered: snapshot epoch {} -> epoch {} ({} WAL records replayed, {}; selection {})\n",
@@ -1182,6 +1338,23 @@ impl Warehouse {
 
     pub fn history(&self) -> &[EpochReport] {
         &self.history
+    }
+
+    /// The engine-wide fault-injection registry (chaos tests and the
+    /// `chaos` script command arm it; it is inert otherwise).
+    pub fn faults(&self) -> &FaultRegistry {
+        &self.faults
+    }
+
+    /// The most recent epoch abort, if any ever happened.
+    pub fn last_abort(&self) -> Option<&AbortInfo> {
+        self.last_abort.as_ref()
+    }
+
+    /// Epochs aborted (each left the engine on its pre-epoch state with
+    /// the pending queue intact) over this engine's lifetime.
+    pub fn epochs_aborted(&self) -> u64 {
+        self.epochs_aborted
     }
 
     /// Every re-optimization so far: epoch, trigger, cold-vs-incremental

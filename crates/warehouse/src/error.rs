@@ -27,6 +27,18 @@ pub enum WarehouseError {
     Durability(String),
     /// A durability operation was requested but `wal on` was never issued.
     DurabilityDisabled,
+    /// An epoch transaction failed before its commit point and was rolled
+    /// back: the staged state was dropped, the engine still serves exact
+    /// pre-epoch answers, and the pending delta queue is intact. Retryable
+    /// — call `run_epoch` again (after fixing/clearing the cause).
+    EpochAborted {
+        /// The epoch the transaction was trying to commit.
+        epoch: u64,
+        /// Fault-site label of the failure (e.g. `"exec:hash-join"`).
+        site: String,
+        /// Human-readable cause (error or panic message).
+        cause: String,
+    },
 }
 
 impl fmt::Display for WarehouseError {
@@ -44,6 +56,12 @@ impl fmt::Display for WarehouseError {
             WarehouseError::Durability(why) => write!(f, "durability failure: {why}"),
             WarehouseError::DurabilityDisabled => {
                 f.write_str("durability is not enabled (run `wal on <dir>` first)")
+            }
+            WarehouseError::EpochAborted { epoch, site, cause } => {
+                write!(
+                    f,
+                    "epoch {epoch} aborted at {site}: {cause} (pre-epoch state retained; retry)"
+                )
             }
         }
     }

@@ -24,6 +24,11 @@
 //!   (atomic columnar snapshot + manifest) and `recover` reloads before
 //!   replaying the WAL tail through the ordinary ingest/epoch path.
 
+// Panic-free discipline: the engine is long-lived, so `unwrap`/`expect` in
+// production code needs a per-site invariant justification or a typed
+// error. (Tests are exempt — see clippy.toml.)
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod durability;
 pub mod engine;
 pub mod error;
@@ -31,8 +36,9 @@ pub mod policy;
 pub mod script;
 
 pub use durability::{SnapshotData, ViewMatImage};
-pub use engine::{EpochReport, QueryResult, RecoveryInfo, ReplanRecord, Warehouse};
+pub use engine::{AbortInfo, EpochReport, QueryResult, RecoveryInfo, ReplanRecord, Warehouse};
 pub use error::WarehouseError;
 pub use mvmqo_core::session::PlanMode;
+pub use mvmqo_storage::faults::{FaultMode, FaultPlan, FaultRegistry, FaultTrigger};
 pub use policy::{ReoptPolicy, ReoptTrigger};
 pub use script::Session;

@@ -31,6 +31,7 @@ use mvmqo_relalg::expr::{CmpOp, Predicate, ScalarExpr};
 use mvmqo_relalg::logical::{LogicalExpr, ViewDef};
 use mvmqo_relalg::schema::AttrId;
 use mvmqo_relalg::types::{DataType, Value};
+use mvmqo_storage::faults::{FaultMode, FaultPlan};
 use mvmqo_tpcd::{generate_database, generate_table_update, tpcd_catalog, Tpcd};
 use std::sync::Arc;
 
@@ -86,6 +87,7 @@ impl Session {
             "wal" => self.cmd_wal(&words),
             "save" => self.cmd_save(),
             "recover" => self.cmd_recover(&words),
+            "chaos" => self.cmd_chaos(&words),
             "help" => Ok(HELP.to_string()),
             other => Err(format!("unknown command {other:?} (try `help`)")),
         }
@@ -97,7 +99,7 @@ impl Session {
 
     /// `view NAME = T1 * T2 [* ...] [where COL <op> N] [group COL sum COL]`
     fn cmd_view(&mut self, line: &str) -> Result<String, String> {
-        let rest = line.strip_prefix("view").unwrap().trim();
+        let rest = line.strip_prefix("view").unwrap_or(line).trim();
         let (name, spec) = rest
             .split_once('=')
             .ok_or("usage: view NAME = T1 * T2 [where COL < N] [group COL sum COL]")?;
@@ -309,12 +311,56 @@ impl Session {
             return Err("usage: recover DIR".into());
         };
         let wh = Warehouse::recover(dir).map_err(|e| e.to_string())?;
-        let info = wh.recovery_info().expect("recover sets info").clone();
+        let info = wh
+            .recovery_info()
+            .cloned()
+            .ok_or("recover produced no recovery info")?;
         self.warehouse = wh;
         Ok(format!(
             "recovered at epoch {} (snapshot epoch {}, {} WAL records replayed, {})",
             info.recovered_epoch, info.snapshot_epoch, info.replayed_records, info.wal_stop
         ))
+    }
+
+    /// `chaos SITE [N]` — arm a one-shot injected fault at the `N`-th
+    /// (default 0) crossing of the named fault site; the next command that
+    /// reaches it fails, and an epoch that hits it aborts cleanly (pre-
+    /// epoch state retained, retry with `epoch`). `chaos off` disarms;
+    /// bare `chaos` reports the armed/fired state.
+    fn cmd_chaos(&mut self, words: &[&str]) -> Result<String, String> {
+        match words[1..] {
+            [] => {
+                let f = self.warehouse.faults();
+                Ok(match (f.armed(), f.fired()) {
+                    (true, _) => "chaos: armed, not yet fired".to_string(),
+                    (false, Some(fired)) => {
+                        format!("chaos: fired at {}#{}", fired.site, fired.ordinal)
+                    }
+                    (false, None) => "chaos: off".to_string(),
+                })
+            }
+            ["off"] => {
+                self.warehouse.faults().clear();
+                Ok("chaos: off".to_string())
+            }
+            [site] | [site, _] => {
+                let nth: u64 = match words.get(2) {
+                    Some(n) => n
+                        .parse()
+                        .map_err(|_| format!("usage: chaos [SITE [N]|off] (bad count {n:?})"))?,
+                    None => 0,
+                };
+                self.warehouse.faults().arm(FaultPlan::site(
+                    site.to_string(),
+                    nth,
+                    FaultMode::Error,
+                ));
+                Ok(format!(
+                    "chaos: armed a fault at crossing #{nth} of {site} (fires once)"
+                ))
+            }
+            _ => Err("usage: chaos [SITE [N]|off]".into()),
+        }
     }
 
     fn cmd_tables(&self) -> String {
@@ -512,6 +558,9 @@ commands:
   wal [on DIR]              enable durability (snapshot + WAL) / show status
   save                      checkpoint: new snapshot, truncate the WAL
   recover DIR               rebuild the session from durable state
+  chaos [SITE [N]|off]      arm a one-shot injected fault at a fault site
+                            (e.g. wal:commit, exec:hash-join); an epoch
+                            that hits it aborts cleanly and can be retried
   help                      this text
   # ...                     comment
 ";
@@ -730,6 +779,42 @@ mod tests {
         // Session still usable after durability errors.
         s.exec_line("view ok = lineitem * orders").unwrap();
         assert!(s.exec_line("query ok").is_ok());
+    }
+
+    #[test]
+    fn chaos_command_aborts_and_retries_cleanly() {
+        let mut s = session();
+        s.exec_line("view locs = lineitem * orders * customer")
+            .unwrap();
+        s.exec_line("ingest all 5").unwrap();
+        s.exec_line("epoch").unwrap();
+        let baseline = s.exec_line("query locs").unwrap();
+
+        // Arm a fault at the commit point: the executor's work is staged
+        // and then dropped, so the engine must stay on the epoch-1 state.
+        s.exec_line("ingest all 5").unwrap();
+        assert!(s.exec_line("chaos wal:commit").unwrap().contains("armed"));
+        let err = s.exec_line("epoch").unwrap_err();
+        assert!(err.contains("aborted"), "{err}");
+        assert!(err.contains("wal:commit"), "{err}");
+        let stale = s.exec_line("query locs").unwrap();
+        assert!(stale.contains("stale"), "{stale}");
+        assert_eq!(
+            stale.replace(", stale", ""),
+            baseline,
+            "abort must leave pre-epoch answers"
+        );
+        let out = s.exec_line("explain").unwrap();
+        assert!(out.contains("epochs aborted: 1"), "{out}");
+        assert!(out.contains("last abort: epoch 2 at wal:commit"), "{out}");
+        assert!(s.exec_line("chaos").unwrap().contains("fired"), "status");
+
+        // The one-shot fault is spent: the retry commits the same epoch.
+        let out = s.exec_line("epoch").unwrap();
+        assert!(out.contains("epoch 2"), "{out}");
+        assert!(s.exec_line("verify locs").unwrap().contains("consistent"));
+        assert!(s.exec_line("chaos off").unwrap().contains("off"));
+        assert!(s.exec_line("chaos wal:commit bogus").is_err());
     }
 
     #[test]

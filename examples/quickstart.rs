@@ -62,7 +62,8 @@ fn main() {
         &deltas,
         &report.program,
         &index_plan,
-    );
+    )
+    .expect("epoch execution");
     println!(
         "executed: setup {:.2}s, maintenance {:.2}s (simulated I/O model)",
         exec.setup_seconds, exec.maintenance_seconds

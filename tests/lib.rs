@@ -212,7 +212,8 @@ pub fn optimize_execute_verify(
         deltas,
         &report.program,
         &index_plan,
-    );
+    )
+    .expect("epoch execution");
     // Ground truth: evaluate each view directly on the post-update state.
     for v in &views {
         let mut expected = eval_logical(&v.expr, &world.catalog, &world.db);

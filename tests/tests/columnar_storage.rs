@@ -387,7 +387,7 @@ proptest! {
             BTreeMap::new(),
             HashMap::new(),
         );
-        let got = rt.eval(&phys);
+        let got = rt.eval(&phys).expect("plan evaluation");
         drop(rt);
         let oracle = LogicalExpr::aggregate(LogicalExpr::scan(t), vec![k], specs);
         let expected = eval_logical(&oracle, &catalog, &db);

@@ -46,7 +46,8 @@ fn run_and_verify(
         &deltas,
         &report.program,
         &index_plan,
-    );
+    )
+    .expect("epoch execution");
     for v in &views {
         let expected = eval_logical(&v.expr, &tpcd.catalog, &db);
         let root = mvmqo_exec::view_root(&report.program, &v.name).unwrap();

@@ -109,7 +109,7 @@ fn eval_phys_threads(
         HashMap::new(),
     );
     rt.set_threads(threads);
-    rt.eval(plan)
+    rt.eval(plan).expect("plan evaluation")
 }
 
 fn scan(catalog: &Catalog, t: TableId) -> PhysPlan {
@@ -692,7 +692,8 @@ fn run_epoch_with(
             force_parallel: true,
             ..ExecOptions::default()
         },
-    );
+    )
+    .expect("epoch execution");
     exec.view_rows
 }
 
